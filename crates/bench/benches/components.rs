@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks: individual substrate components.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rce_cache::SetAssoc;
+use rce_common::{Cycles, LineAddr, NocConfig, Rng, SplitMix64};
+use rce_core::{Aim, Oracle};
+use rce_dram::{AccessKind, Dram};
+use rce_noc::{MsgClass, Noc, NodeId};
+
+fn cache_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_assoc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hit_lookup", |b| {
+        let mut a: SetAssoc<u64> = SetAssoc::new(64, 8);
+        for k in 0..512u64 {
+            a.insert(k, k);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            std::hint::black_box(a.get_mut(i));
+        });
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut a: SetAssoc<u64> = SetAssoc::new(64, 8);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            if !a.contains(k) {
+                std::hint::black_box(a.insert(k, k));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn noc_send(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("send_cross_mesh", |b| {
+        let mut n = Noc::new(64, NocConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 4;
+            std::hint::black_box(n.send(NodeId(0), NodeId(63), 72, MsgClass::Data, Cycles(t)));
+        });
+    });
+    g.finish();
+}
+
+fn dram_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("access", |b| {
+        let mut d = Dram::new(Default::default());
+        let mut rng = SplitMix64::new(1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            let line = LineAddr(rng.gen_range(1 << 20));
+            std::hint::black_box(d.access(line, 64, AccessKind::DataRead, Cycles(t)));
+        });
+    });
+    g.finish();
+}
+
+fn aim_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aim");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("ensure", |b| {
+        let mut aim = Aim::new(&Default::default());
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| {
+            let line = LineAddr(rng.gen_range(1 << 16));
+            std::hint::black_box(aim.ensure(line));
+        });
+    });
+    g.finish();
+}
+
+fn oracle_observe(c: &mut Criterion) {
+    use rce_common::{Addr, CoreId, RegionId};
+    use rce_core::AccessType;
+    let mut g = c.benchmark_group("oracle");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("observe", |b| {
+        let regions: Vec<RegionId> = (0..8).map(RegionId).collect();
+        let mut o = Oracle::new(&regions);
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            let core = CoreId(rng.gen_range(8) as u16);
+            let addr = Addr(rng.gen_range(1 << 14) * 8);
+            let kind = if rng.gen_bool(0.3) {
+                AccessType::Write
+            } else {
+                AccessType::Read
+            };
+            std::hint::black_box(o.observe(core, addr, kind, Cycles(0)));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_array,
+    noc_send,
+    dram_access,
+    aim_ops,
+    oracle_observe
+);
+criterion_main!(benches);

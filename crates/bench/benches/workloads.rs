@@ -1,0 +1,35 @@
+//! Criterion microbenchmarks: workload generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rce_trace::WorkloadSpec;
+
+fn generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    for w in [
+        WorkloadSpec::Blackscholes,
+        WorkloadSpec::Canneal,
+        WorkloadSpec::Dedup,
+        WorkloadSpec::Fluidanimate,
+        WorkloadSpec::X264,
+    ] {
+        let ops = w.build(8, 1, 42).total_ops() as u64;
+        g.throughput(Throughput::Elements(ops));
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
+            b.iter(|| w.build(8, 1, 42));
+        });
+    }
+    g.finish();
+}
+
+fn characterization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("characterize");
+    let p = WorkloadSpec::Streamcluster.build(8, 2, 42);
+    g.throughput(Throughput::Elements(p.total_ops() as u64));
+    g.bench_function("streamcluster", |b| {
+        b.iter(|| rce_trace::characterize(&p));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, generation, characterization);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! `paper` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! paper all                      # every experiment
+//! paper fig-runtime              # one experiment
+//! paper table2 --cores 16 --scale 2 --seed 7 --jobs 8
+//! paper list                     # experiment catalog
+//! ```
+//!
+//! Each experiment prints its text table and writes machine-readable
+//! rows to `results/<id>.json` (used by EXPERIMENTS.md).
+
+use rce_bench::{figures::base_sweep, Ablation, EvalParams, Experiment};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper <experiment|all|ablations|summary|list> [--cores N] [--scale N] [--seed N] \
+         [--jobs N] [--out DIR]\nexperiments: {}\nablations: {}",
+        Experiment::ALL
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        Ablation::ALL
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut params = EvalParams::default();
+    let mut out_dir = "results".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        let need_val = |i: usize| args.get(i + 1).unwrap_or_else(|| usage()).clone();
+        match args[i].as_str() {
+            "--cores" => {
+                params.cores = need_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--scale" => {
+                params.scale = need_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                params.seed = need_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--jobs" => {
+                params.jobs = need_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                out_dir = need_val(i);
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    if command == "summary" {
+        match rce_bench::summary::evaluate(std::path::Path::new(&out_dir)) {
+            Some(claims) => {
+                println!("{}", rce_bench::summary::render(&claims));
+                if claims.iter().any(|c| !c.pass) {
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("missing results in '{out_dir}/' — run `paper all` first");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    if command == "list" {
+        for e in Experiment::ALL {
+            println!("{:<20} {}", e.name(), e.run_description());
+        }
+        for a in Ablation::ALL {
+            println!("{:<20} ablation", a.name());
+        }
+        return;
+    }
+
+    // Ablations: one or all.
+    let ablations: Vec<Ablation> = if command == "ablations" {
+        Ablation::ALL.to_vec()
+    } else {
+        Ablation::parse(&command).into_iter().collect()
+    };
+    if !ablations.is_empty() {
+        std::fs::create_dir_all(&out_dir).expect("create results directory");
+        for a in ablations {
+            eprintln!("== {} ==", a.name());
+            let start = std::time::Instant::now();
+            let fig = a.run(&params);
+            eprintln!("   done in {:.1}s", start.elapsed().as_secs_f64());
+            println!("{}", fig.table);
+            write_result(&out_dir, &fig, &params);
+        }
+        return;
+    }
+
+    let experiments: Vec<Experiment> = if command == "all" {
+        Experiment::ALL.to_vec()
+    } else {
+        match Experiment::parse(&command) {
+            Some(e) => vec![e],
+            None => usage(),
+        }
+    };
+
+    std::fs::create_dir_all(&out_dir).expect("create results directory");
+    // The four per-workload figures share one sweep.
+    let needs_sweep = experiments.iter().any(|e| {
+        matches!(
+            e,
+            Experiment::FigRuntime
+                | Experiment::FigEnergy
+                | Experiment::FigNoc
+                | Experiment::FigDram
+        )
+    });
+    let sweep = if needs_sweep && experiments.len() > 1 {
+        eprintln!(
+            "running base sweep: 13 workloads x 4 designs at {} cores, scale {} ...",
+            params.cores, params.scale
+        );
+        Some(base_sweep(&params))
+    } else {
+        None
+    };
+
+    for e in experiments {
+        eprintln!("== {} ({}) ==", e.name(), e.run_description());
+        let start = std::time::Instant::now();
+        let fig = e.run(&params, sweep.as_ref());
+        eprintln!("   done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", fig.table);
+        write_result(&out_dir, &fig, &params);
+    }
+}
+
+fn write_result(out_dir: &str, fig: &rce_bench::FigureOutput, params: &EvalParams) {
+    let path = format!("{out_dir}/{}.json", fig.id);
+    let mut f = std::fs::File::create(&path).expect("write results file");
+    let payload = serde_json::json!({
+        "id": fig.id,
+        "title": fig.title,
+        "cores": params.cores,
+        "scale": params.scale,
+        "seed": params.seed,
+        "data": fig.json,
+    });
+    writeln!(f, "{}", serde_json::to_string_pretty(&payload).unwrap()).unwrap();
+    eprintln!("   wrote {path}");
+}
+
+/// Human descriptions for `paper list`.
+trait Describe {
+    fn run_description(&self) -> &'static str;
+}
+
+impl Describe for Experiment {
+    fn run_description(&self) -> &'static str {
+        match self {
+            Experiment::Table1 => "simulated system configuration",
+            Experiment::Table2 => "workload characteristics",
+            Experiment::FigRuntime => "run time normalized to MESI",
+            Experiment::FigEnergy => "energy normalized to MESI + breakdown",
+            Experiment::FigNoc => "on-chip traffic normalized to MESI",
+            Experiment::FigDram => "off-chip traffic normalized to MESI",
+            Experiment::FigScaling => "geomean run time vs core count",
+            Experiment::FigAim => "AIM size sensitivity",
+            Experiment::Table3 => "conflicts detected vs oracle",
+            Experiment::FigSaturation => "NoC saturation vs core count",
+            Experiment::FigSeeds => "seed sensitivity of headline geomeans",
+        }
+    }
+}

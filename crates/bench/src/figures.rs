@@ -1,0 +1,843 @@
+//! Experiment implementations: one function per reconstructed table
+//! or figure (see DESIGN.md for the experiment index).
+
+use crate::runner::{run_one, run_one_cfg, run_suite, EvalParams, RunKey};
+use rce_common::{geomean, table::Table, MachineConfig, ProtocolKind};
+use rce_core::SimReport;
+use rce_trace::{characterize, inject_races, WorkloadSpec};
+use serde_json::{json, Value};
+use std::collections::HashMap;
+
+/// A rendered experiment: the text table plus machine-readable rows.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Experiment ID (e.g. "R-F1").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered text table.
+    pub table: String,
+    /// Machine-readable rows (written to `results/` by the binary).
+    pub json: Value,
+}
+
+/// The experiment catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// R-T1: system configuration.
+    Table1,
+    /// R-T2: workload characteristics.
+    Table2,
+    /// R-F1: normalized run time.
+    FigRuntime,
+    /// R-F2: normalized energy with breakdown.
+    FigEnergy,
+    /// R-F3: normalized on-chip traffic.
+    FigNoc,
+    /// R-F4: normalized off-chip traffic.
+    FigDram,
+    /// R-F5: run time scaling with core count.
+    FigScaling,
+    /// R-F6: AIM size sensitivity.
+    FigAim,
+    /// R-T3: conflict detection vs the oracle.
+    Table3,
+    /// R-F7: NoC saturation.
+    FigSaturation,
+    /// R-F8: seed sensitivity of the headline geomeans.
+    FigSeeds,
+}
+
+impl Experiment {
+    /// All experiments in presentation order.
+    pub const ALL: [Experiment; 11] = [
+        Experiment::Table1,
+        Experiment::Table2,
+        Experiment::FigRuntime,
+        Experiment::FigEnergy,
+        Experiment::FigNoc,
+        Experiment::FigDram,
+        Experiment::FigScaling,
+        Experiment::FigAim,
+        Experiment::Table3,
+        Experiment::FigSaturation,
+        Experiment::FigSeeds,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Table1 => "table1",
+            Experiment::Table2 => "table2",
+            Experiment::FigRuntime => "fig-runtime",
+            Experiment::FigEnergy => "fig-energy",
+            Experiment::FigNoc => "fig-noc",
+            Experiment::FigDram => "fig-dram",
+            Experiment::FigScaling => "fig-scaling",
+            Experiment::FigAim => "fig-aim",
+            Experiment::Table3 => "table3",
+            Experiment::FigSaturation => "fig-saturation",
+            Experiment::FigSeeds => "fig-seeds",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Experiment> {
+        Experiment::ALL.iter().copied().find(|e| e.name() == s)
+    }
+
+    /// Run the experiment. `sweep` is an optional pre-computed base
+    /// sweep (all PARSEC workloads × all protocols at `params.cores`),
+    /// reused by the four per-workload figures.
+    pub fn run(
+        self,
+        params: &EvalParams,
+        sweep: Option<&HashMap<RunKey, SimReport>>,
+    ) -> FigureOutput {
+        match self {
+            Experiment::Table1 => table1(params),
+            Experiment::Table2 => table2(params),
+            Experiment::FigRuntime
+            | Experiment::FigEnergy
+            | Experiment::FigNoc
+            | Experiment::FigDram => {
+                let owned;
+                let s = match sweep {
+                    Some(s) => s,
+                    None => {
+                        owned = base_sweep(params);
+                        &owned
+                    }
+                };
+                match self {
+                    Experiment::FigRuntime => fig_runtime(params, s),
+                    Experiment::FigEnergy => fig_energy(params, s),
+                    Experiment::FigNoc => fig_noc(params, s),
+                    Experiment::FigDram => fig_dram(params, s),
+                    _ => unreachable!(),
+                }
+            }
+            Experiment::FigScaling => fig_scaling(params),
+            Experiment::FigAim => fig_aim(params),
+            Experiment::Table3 => table3(params),
+            Experiment::FigSaturation => fig_saturation(params),
+            Experiment::FigSeeds => fig_seeds(params),
+        }
+    }
+}
+
+/// The base sweep every per-workload figure consumes.
+pub fn base_sweep(params: &EvalParams) -> HashMap<RunKey, SimReport> {
+    run_suite(
+        &WorkloadSpec::PARSEC,
+        &ProtocolKind::ALL,
+        &[params.cores],
+        params,
+    )
+}
+
+fn get(
+    sweep: &HashMap<RunKey, SimReport>,
+    w: WorkloadSpec,
+    p: ProtocolKind,
+    cores: usize,
+) -> &SimReport {
+    sweep
+        .get(&RunKey {
+            workload: w,
+            protocol: p,
+            cores,
+        })
+        .expect("sweep must contain every (workload, protocol) pair")
+}
+
+/// R-T1: the simulated system's parameters.
+fn table1(params: &EvalParams) -> FigureOutput {
+    let cfg = MachineConfig::paper_default(params.cores, ProtocolKind::MesiBaseline);
+    let mut t = Table::new(
+        "Table I: simulated system configuration",
+        &["parameter", "value"],
+    );
+    let rows: Vec<(String, String)> = vec![
+        ("cores".into(), format!("{}", cfg.cores)),
+        (
+            "L1 (private)".into(),
+            format!(
+                "{} / {}-way / {} cyc",
+                cfg.l1.capacity, cfg.l1.ways, cfg.l1.latency
+            ),
+        ),
+        (
+            "LLC (shared, banked)".into(),
+            format!(
+                "{} / {}-way / {} cyc",
+                cfg.llc.capacity, cfg.llc.ways, cfg.llc.latency
+            ),
+        ),
+        (
+            "NoC".into(),
+            format!(
+                "2D mesh, {} cyc/hop, {} B/cyc/link, {} B flits",
+                cfg.noc.hop_latency, cfg.noc.link_bandwidth, cfg.noc.flit_bytes
+            ),
+        ),
+        (
+            "DRAM".into(),
+            format!(
+                "{} ch x {} banks, {}/{} cyc hit/miss, {} B/cyc/ch",
+                cfg.dram.channels,
+                cfg.dram.banks_per_channel,
+                cfg.dram.row_hit_latency,
+                cfg.dram.row_miss_latency,
+                cfg.dram.channel_bandwidth
+            ),
+        ),
+        (
+            "AIM".into(),
+            format!(
+                "{} entries / {}-way / {} cyc / {} B entries",
+                cfg.aim.entries, cfg.aim.ways, cfg.aim.latency, cfg.aim.entry_bytes
+            ),
+        ),
+        (
+            "CE/CE+ piggyback".into(),
+            format!("{} B per coherence message", cfg.metadata_piggyback_bytes),
+        ),
+        (
+            "ARC signature".into(),
+            format!("{} B per touched line", cfg.signature_bytes_per_line),
+        ),
+        ("workload scale".into(), format!("{}", params.scale)),
+        ("seed".into(), format!("{}", params.seed)),
+    ];
+    for (k, v) in &rows {
+        t.row(vec![k.clone(), v.clone()]);
+    }
+    FigureOutput {
+        id: "R-T1",
+        title: "System configuration",
+        table: t.render(),
+        json: json!(rows),
+    }
+}
+
+/// R-T2: workload characteristics.
+fn table2(params: &EvalParams) -> FigureOutput {
+    let mut t = Table::new(
+        "Table II: workload characteristics",
+        &[
+            "workload",
+            "mem ops",
+            "sync ops",
+            "regions",
+            "ops/region",
+            "lines",
+            "shared lines",
+            "shared acc %",
+            "write %",
+        ],
+    );
+    let mut rows = Vec::new();
+    for w in WorkloadSpec::PARSEC {
+        let p = w.build(params.cores, params.scale, params.seed);
+        let c = characterize(&p);
+        t.row(vec![
+            c.name.clone(),
+            c.mem_ops.to_string(),
+            c.sync_ops.to_string(),
+            c.regions.to_string(),
+            format!("{:.1}", c.mean_region_len),
+            c.footprint_lines.to_string(),
+            c.shared_lines.to_string(),
+            format!("{:.1}", c.shared_access_frac * 100.0),
+            format!("{:.1}", c.write_frac * 100.0),
+        ]);
+        rows.push(serde_json::to_value(&c).expect("serializable"));
+    }
+    FigureOutput {
+        id: "R-T2",
+        title: "Workload characteristics",
+        table: t.render(),
+        json: Value::Array(rows),
+    }
+}
+
+/// Shared scaffolding for the four normalized-metric figures.
+fn normalized_figure(
+    params: &EvalParams,
+    sweep: &HashMap<RunKey, SimReport>,
+    id: &'static str,
+    title: &'static str,
+    metric_name: &str,
+    metric: impl Fn(&SimReport) -> f64,
+) -> FigureOutput {
+    let mut t = Table::new(
+        format!("{title} (normalized to MESI, {} cores)", params.cores),
+        &["workload", "CE", "CE+", "ARC"],
+    );
+    let mut per_proto: HashMap<ProtocolKind, Vec<f64>> = HashMap::new();
+    let mut rows = Vec::new();
+    for w in WorkloadSpec::PARSEC {
+        let base = metric(get(sweep, w, ProtocolKind::MesiBaseline, params.cores));
+        let mut cells = vec![w.name().to_string()];
+        let mut row = json!({ "workload": w.name() });
+        for p in ProtocolKind::DETECTORS {
+            let v = metric(get(sweep, w, p, params.cores));
+            let norm = if base == 0.0 { 1.0 } else { v / base };
+            per_proto.entry(p).or_default().push(norm.max(1e-9));
+            cells.push(format!("{norm:.3}"));
+            row[p.name()] = json!(norm);
+        }
+        t.row(cells);
+        rows.push(row);
+    }
+    let mut cells = vec!["geomean".to_string()];
+    let mut row = json!({ "workload": "geomean" });
+    for p in ProtocolKind::DETECTORS {
+        let g = geomean(&per_proto[&p]);
+        cells.push(format!("{g:.3}"));
+        row[p.name()] = json!(g);
+    }
+    t.row(cells);
+    rows.push(row);
+    FigureOutput {
+        id,
+        title,
+        table: t.render(),
+        json: json!({ "metric": metric_name, "cores": params.cores, "rows": rows }),
+    }
+}
+
+/// R-F1: normalized run time.
+fn fig_runtime(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+    normalized_figure(params, sweep, "R-F1", "Run time", "runtime", |r| {
+        r.cycles.0 as f64
+    })
+}
+
+/// R-F2: normalized energy, with component breakdown per design.
+fn fig_energy(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+    let mut out = normalized_figure(params, sweep, "R-F2", "Energy", "energy", |r| {
+        r.energy_total().0
+    });
+    // Append a geomean component-share table.
+    let mut t = Table::new(
+        "Energy breakdown (% of each design's total, geomean workload)",
+        &["design", "L1", "LLC", "AIM", "Dir", "NoC", "DRAM", "Static"],
+    );
+    let mut breakdown_rows = Vec::new();
+    for p in ProtocolKind::ALL {
+        let mut shares = [0.0f64; 7];
+        let mut n = 0;
+        for w in WorkloadSpec::PARSEC {
+            let r = get(sweep, w, p, params.cores);
+            let total = r.energy_total().0.max(1e-12);
+            for (i, (_, v)) in r.energy.components().iter().enumerate() {
+                shares[i] += v.0 / total;
+            }
+            n += 1;
+        }
+        let mut cells = vec![p.name().to_string()];
+        let mut row = json!({ "design": p.name() });
+        let names = ["L1", "LLC", "AIM", "Dir", "NoC", "DRAM", "Static"];
+        for (i, s) in shares.iter().enumerate() {
+            let pct = s / n as f64 * 100.0;
+            cells.push(format!("{pct:.1}"));
+            row[names[i]] = json!(pct);
+        }
+        t.row(cells);
+        breakdown_rows.push(row);
+    }
+    out.table.push('\n');
+    out.table.push_str(&t.render());
+    out.json["breakdown"] = Value::Array(breakdown_rows);
+    out
+}
+
+/// R-F3: normalized on-chip traffic, plus the metadata/invalidation
+/// decomposition that explains it.
+fn fig_noc(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+    let mut out = normalized_figure(
+        params,
+        sweep,
+        "R-F3",
+        "On-chip network traffic",
+        "noc_bytes",
+        |r| r.noc_bytes().as_f64(),
+    );
+    let mut t = Table::new(
+        "NoC traffic composition (total MiB across PARSEC suite)",
+        &["design", "total", "data", "inv+ack", "metadata"],
+    );
+    let mut comp_rows = Vec::new();
+    for p in ProtocolKind::ALL {
+        let (mut total, mut data, mut inv, mut meta) = (0u64, 0u64, 0u64, 0u64);
+        for w in WorkloadSpec::PARSEC {
+            let r = get(sweep, w, p, params.cores);
+            total += r.noc.total_bytes().0;
+            data += r.noc.bytes[rce_noc::MsgClass::Data.index()].0
+                + r.noc.bytes[rce_noc::MsgClass::Writeback.index()].0;
+            inv += r.noc.invalidation_bytes().0;
+            meta += r.noc.metadata_bytes().0;
+        }
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        t.row(vec![
+            p.name().to_string(),
+            format!("{:.1}", mib(total)),
+            format!("{:.1}", mib(data)),
+            format!("{:.1}", mib(inv)),
+            format!("{:.1}", mib(meta)),
+        ]);
+        comp_rows.push(json!({
+            "design": p.name(), "total": total, "data": data,
+            "inv_ack": inv, "metadata": meta
+        }));
+    }
+    out.table.push('\n');
+    out.table.push_str(&t.render());
+    out.json["composition"] = Value::Array(comp_rows);
+    out
+}
+
+/// R-F4: normalized off-chip traffic, with the metadata share.
+fn fig_dram(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+    let mut out = normalized_figure(
+        params,
+        sweep,
+        "R-F4",
+        "Off-chip memory traffic",
+        "dram_bytes",
+        |r| r.dram_bytes().as_f64(),
+    );
+    let mut t = Table::new(
+        "Off-chip metadata share (MiB across PARSEC suite)",
+        &["design", "data", "metadata"],
+    );
+    let mut comp_rows = Vec::new();
+    for p in ProtocolKind::ALL {
+        let (mut data, mut meta) = (0u64, 0u64);
+        for w in WorkloadSpec::PARSEC {
+            let r = get(sweep, w, p, params.cores);
+            meta += r.dram.metadata_bytes().0;
+            data += r.dram.total_bytes().0 - r.dram.metadata_bytes().0;
+        }
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        t.row(vec![
+            p.name().to_string(),
+            format!("{:.1}", mib(data)),
+            format!("{:.1}", mib(meta)),
+        ]);
+        comp_rows.push(json!({ "design": p.name(), "data": data, "metadata": meta }));
+    }
+    out.table.push('\n');
+    out.table.push_str(&t.render());
+    out.json["composition"] = Value::Array(comp_rows);
+    out
+}
+
+/// Core counts used by the scaling and saturation figures.
+const SCALING_CORES: [usize; 4] = [8, 16, 32, 64];
+
+/// R-F5: geomean normalized run time vs core count.
+fn fig_scaling(params: &EvalParams) -> FigureOutput {
+    let sweep = run_suite(
+        &WorkloadSpec::PARSEC,
+        &ProtocolKind::ALL,
+        &SCALING_CORES,
+        params,
+    );
+    let mut t = Table::new(
+        "Run time vs core count (geomean over PARSEC, normalized to MESI at each count)",
+        &["cores", "CE", "CE+", "ARC"],
+    );
+    let mut rows = Vec::new();
+    for c in SCALING_CORES {
+        let mut cells = vec![c.to_string()];
+        let mut row = json!({ "cores": c });
+        for p in ProtocolKind::DETECTORS {
+            let norms: Vec<f64> = WorkloadSpec::PARSEC
+                .iter()
+                .map(|w| {
+                    let base = get(&sweep, *w, ProtocolKind::MesiBaseline, c).cycles.0 as f64;
+                    let v = get(&sweep, *w, p, c).cycles.0 as f64;
+                    (v / base).max(1e-9)
+                })
+                .collect();
+            let g = geomean(&norms);
+            cells.push(format!("{g:.3}"));
+            row[p.name()] = json!(g);
+        }
+        t.row(cells);
+        rows.push(row);
+    }
+    FigureOutput {
+        id: "R-F5",
+        title: "Scaling with core count",
+        table: t.render(),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// AIM entry counts for the sensitivity sweep. The interesting knee
+/// is where the AIM stops covering the metadata working set, so the
+/// sweep reaches well below the default (8K entries).
+const AIM_SIZES: [u64; 5] = [256, 1024, 4 * 1024, 16 * 1024, 64 * 1024];
+
+/// Workloads with enough metadata pressure to exercise the AIM.
+const AIM_WORKLOADS: [WorkloadSpec; 4] = [
+    WorkloadSpec::Canneal,
+    WorkloadSpec::Ferret,
+    WorkloadSpec::Streamcluster,
+    WorkloadSpec::Bodytrack,
+];
+
+/// R-F6: AIM size sensitivity for CE+ and ARC.
+fn fig_aim(params: &EvalParams) -> FigureOutput {
+    let mut t = Table::new(
+        "AIM sensitivity (geomean over metadata-heavy workloads)",
+        &[
+            "entries",
+            "CE+ hit%",
+            "CE+ runtime",
+            "ARC hit%",
+            "ARC runtime",
+        ],
+    );
+    let mut rows = Vec::new();
+    // Baselines (per workload, at default AIM) for normalization.
+    let base: HashMap<WorkloadSpec, f64> = AIM_WORKLOADS
+        .iter()
+        .map(|w| {
+            let r = run_one(
+                *w,
+                ProtocolKind::MesiBaseline,
+                params.cores,
+                params.scale,
+                params.seed,
+            );
+            (*w, r.cycles.0 as f64)
+        })
+        .collect();
+    for entries in AIM_SIZES {
+        let mut cells = vec![entries.to_string()];
+        let mut row = json!({ "entries": entries });
+        for p in [ProtocolKind::CePlus, ProtocolKind::Arc] {
+            let mut hits = Vec::new();
+            let mut norms = Vec::new();
+            for w in AIM_WORKLOADS {
+                let cfg = MachineConfig::paper_default(params.cores, p).with_aim_entries(entries);
+                let r = run_one_cfg(w, &cfg, params.scale, params.seed);
+                if let Some(a) = r.aim {
+                    hits.push(a.hit_rate());
+                }
+                norms.push((r.cycles.0 as f64 / base[&w]).max(1e-9));
+            }
+            let hit = if hits.is_empty() {
+                0.0
+            } else {
+                hits.iter().sum::<f64>() / hits.len() as f64
+            };
+            let g = geomean(&norms);
+            cells.push(format!("{:.1}", hit * 100.0));
+            cells.push(format!("{g:.3}"));
+            row[p.name()] = json!({ "hit_rate": hit, "runtime": g });
+        }
+        t.row(cells);
+        rows.push(row);
+    }
+    FigureOutput {
+        id: "R-F6",
+        title: "AIM size sensitivity",
+        table: t.render(),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// R-T3: exception delivery — every design must agree with the oracle.
+fn table3(params: &EvalParams) -> FigureOutput {
+    let mut t = Table::new(
+        "Table III: region conflicts detected (vs oracle ground truth)",
+        &["workload", "oracle", "CE", "CE+", "ARC", "all match"],
+    );
+    let mut rows = Vec::new();
+    // Naturally racy workloads plus race-injected race-free ones.
+    let mut cases: Vec<(String, rce_trace::Program)> = vec![
+        (
+            "canneal".into(),
+            WorkloadSpec::Canneal.build(params.cores, params.scale.min(2), params.seed),
+        ),
+        (
+            "racy_pair".into(),
+            WorkloadSpec::RacyPair.build(params.cores, params.scale, params.seed),
+        ),
+    ];
+    for (w, n) in [
+        (WorkloadSpec::Blackscholes, 4usize),
+        (WorkloadSpec::Streamcluster, 8),
+    ] {
+        let mut p = w.build(params.cores, 1, params.seed);
+        inject_races(&mut p, n, params.seed);
+        cases.push((p.name.clone(), p));
+    }
+    for (name, program) in &cases {
+        let mut counts = Vec::new();
+        let mut oracle_count = 0;
+        let mut all_match = true;
+        for proto in ProtocolKind::DETECTORS {
+            let cfg = MachineConfig::paper_default(params.cores, proto);
+            let r = rce_core::Machine::new(&cfg)
+                .expect("valid config")
+                .run(program)
+                .expect("valid program");
+            oracle_count = r.oracle_conflicts.len();
+            all_match &= r.matches_oracle();
+            counts.push(r.exceptions.len());
+        }
+        t.row(vec![
+            name.clone(),
+            oracle_count.to_string(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            if all_match { "yes" } else { "NO" }.to_string(),
+        ]);
+        rows.push(json!({
+            "workload": name, "oracle": oracle_count,
+            "CE": counts[0], "CE+": counts[1], "ARC": counts[2],
+            "all_match": all_match
+        }));
+    }
+    FigureOutput {
+        id: "R-T3",
+        title: "Conflict detection vs oracle",
+        table: t.render(),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// Workloads whose writes hit widely-shared lines — the invalidation
+/// storms that make eager coherence stress the NoC as cores grow.
+const SATURATION_WORKLOADS: [WorkloadSpec; 4] = [
+    WorkloadSpec::Canneal,
+    WorkloadSpec::Bodytrack,
+    WorkloadSpec::Streamcluster,
+    WorkloadSpec::FalseSharing,
+];
+
+/// R-F7: NoC saturation vs core count.
+fn fig_saturation(params: &EvalParams) -> FigureOutput {
+    let sweep = run_suite(
+        &SATURATION_WORKLOADS,
+        &ProtocolKind::ALL,
+        &SCALING_CORES,
+        params,
+    );
+    let mut t = Table::new(
+        "NoC load vs core count (totals over invalidation-heavy workloads)",
+        &[
+            "cores",
+            "design",
+            "NoC MiB",
+            "inv+ack MiB",
+            "peak link util %",
+            "mean queue delay (cyc)",
+        ],
+    );
+    let mut rows = Vec::new();
+    for c in SCALING_CORES {
+        for p in ProtocolKind::ALL {
+            let (mut util, mut delay, mut bytes, mut inv) = (0.0f64, 0.0, 0u64, 0u64);
+            for w in SATURATION_WORKLOADS {
+                let r = get(&sweep, w, p, c);
+                util = util.max(r.noc.peak_link_utilization);
+                delay += r.noc.mean_queue_delay();
+                bytes += r.noc.total_bytes().0;
+                inv += r.noc.invalidation_bytes().0;
+            }
+            let n = SATURATION_WORKLOADS.len() as f64;
+            let mib = |b: u64| b as f64 / (1 << 20) as f64;
+            t.row(vec![
+                c.to_string(),
+                p.name().to_string(),
+                format!("{:.1}", mib(bytes)),
+                format!("{:.2}", mib(inv)),
+                format!("{:.1}", util * 100.0),
+                format!("{:.1}", delay / n),
+            ]);
+            rows.push(json!({
+                "cores": c, "design": p.name(),
+                "noc_bytes": bytes, "inv_ack_bytes": inv,
+                "peak_util": util, "mean_queue_delay": delay / n
+            }));
+        }
+    }
+    FigureOutput {
+        id: "R-F7",
+        title: "NoC saturation",
+        table: t.render(),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// R-F8: are the headline geomeans artifacts of one seed? Re-run the
+/// runtime figure's geomean at several seeds and report the spread.
+fn fig_seeds(params: &EvalParams) -> FigureOutput {
+    const SEEDS: [u64; 3] = [42, 1337, 90210];
+    let mut t = Table::new(
+        "Seed sensitivity (runtime geomean normalized to MESI)",
+        &["seed", "CE", "CE+", "ARC"],
+    );
+    let mut rows = Vec::new();
+    let mut per_design: HashMap<ProtocolKind, Vec<f64>> = HashMap::new();
+    for seed in SEEDS {
+        let mut p = *params;
+        p.seed = seed;
+        let sweep = base_sweep(&p);
+        let mut cells = vec![seed.to_string()];
+        let mut row = json!({ "seed": seed });
+        for proto in ProtocolKind::DETECTORS {
+            let norms: Vec<f64> = WorkloadSpec::PARSEC
+                .iter()
+                .map(|w| {
+                    let base = get(&sweep, *w, ProtocolKind::MesiBaseline, p.cores)
+                        .cycles
+                        .0 as f64;
+                    let v = get(&sweep, *w, proto, p.cores).cycles.0 as f64;
+                    (v / base).max(1e-9)
+                })
+                .collect();
+            let g = geomean(&norms);
+            per_design.entry(proto).or_default().push(g);
+            cells.push(format!("{g:.3}"));
+            row[proto.name()] = json!(g);
+        }
+        t.row(cells);
+        rows.push(row);
+    }
+    let mut cells = vec!["spread".to_string()];
+    let mut row = json!({ "seed": "spread" });
+    for proto in ProtocolKind::DETECTORS {
+        let v = &per_design[&proto];
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        cells.push(format!("{:.3}", max - min));
+        row[proto.name()] = json!(max - min);
+    }
+    t.row(cells);
+    rows.push(row);
+    FigureOutput {
+        id: "R-F8",
+        title: "Seed sensitivity",
+        table: t.render(),
+        json: json!({ "rows": rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> EvalParams {
+        EvalParams {
+            cores: 4,
+            scale: 1,
+            seed: 1,
+            jobs: 0,
+        }
+    }
+
+    #[test]
+    fn table1_renders() {
+        let f = Experiment::Table1.run(&tiny_params(), None);
+        assert!(f.table.contains("cores"));
+        assert!(f.table.contains("AIM"));
+        assert_eq!(f.id, "R-T1");
+    }
+
+    #[test]
+    fn table2_covers_suite() {
+        let f = Experiment::Table2.run(&tiny_params(), None);
+        for w in WorkloadSpec::PARSEC {
+            assert!(f.table.contains(w.name()), "{} missing", w.name());
+        }
+        assert_eq!(f.json.as_array().unwrap().len(), 13);
+    }
+
+    #[test]
+    fn runtime_figure_has_geomean() {
+        let params = tiny_params();
+        let sweep = base_sweep(&params);
+        let f = Experiment::FigRuntime.run(&params, Some(&sweep));
+        assert!(f.table.contains("geomean"));
+        let rows = f.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 14); // 13 workloads + geomean
+                                    // All normalized values are positive and finite.
+        for r in rows {
+            for p in ["CE", "CE+", "ARC"] {
+                let v = r[p].as_f64().unwrap();
+                assert!(v.is_finite() && v > 0.0, "{p}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn experiment_names_roundtrip() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::parse(e.name()), Some(e));
+        }
+        assert_eq!(Experiment::parse("nope"), None);
+    }
+
+    #[test]
+    fn table3_all_engines_match_their_oracles() {
+        let f = Experiment::Table3.run(&tiny_params(), None);
+        let rows = f.json["rows"].as_array().unwrap();
+        assert!(rows.len() >= 4);
+        for r in rows {
+            assert_eq!(
+                r["all_match"],
+                serde_json::json!(true),
+                "engine/oracle mismatch in {}",
+                r["workload"]
+            );
+        }
+        assert!(!f.table.contains("NO"));
+    }
+
+    #[test]
+    fn aim_sweep_hit_rates_monotone_nondecreasing() {
+        let f = Experiment::FigAim.run(&tiny_params(), None);
+        let rows = f.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 5);
+        for design in ["CE+", "ARC"] {
+            let hits: Vec<f64> = rows
+                .iter()
+                .map(|r| r[design]["hit_rate"].as_f64().unwrap())
+                .collect();
+            for w in hits.windows(2) {
+                assert!(
+                    w[1] >= w[0] - 0.02,
+                    "{design}: hit rate should not fall as the AIM grows: {hits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_breakdown_shares_sum_to_one() {
+        let params = tiny_params();
+        let sweep = base_sweep(&params);
+        let f = Experiment::FigEnergy.run(&params, Some(&sweep));
+        for row in f.json["breakdown"].as_array().unwrap() {
+            let total: f64 = ["L1", "LLC", "AIM", "Dir", "NoC", "DRAM", "Static"]
+                .iter()
+                .map(|k| row[*k].as_f64().unwrap())
+                .sum();
+            assert!(
+                (total - 100.0).abs() < 0.5,
+                "{}: breakdown sums to {total}",
+                row["design"]
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Parallel sweep execution.
+
+use parking_lot::Mutex;
+use rce_common::{MachineConfig, ProtocolKind};
+use rce_core::{Machine, SimReport};
+use rce_trace::WorkloadSpec;
+use std::collections::HashMap;
+
+/// Evaluation parameters shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalParams {
+    /// Core count (threads are pinned 1:1).
+    pub cores: usize,
+    /// Workload scale factor (linear in trace length).
+    pub scale: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// OS threads for the sweep (0 = all available).
+    pub jobs: usize,
+}
+
+impl Default for EvalParams {
+    fn default() -> Self {
+        EvalParams {
+            cores: 32,
+            scale: 3,
+            seed: 42,
+            jobs: 0,
+        }
+    }
+}
+
+/// Identifies one simulation run of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Workload.
+    pub workload: WorkloadSpec,
+    /// Design.
+    pub protocol: ProtocolKind,
+    /// Core count.
+    pub cores: usize,
+}
+
+/// Run one simulation.
+pub fn run_one(
+    workload: WorkloadSpec,
+    protocol: ProtocolKind,
+    cores: usize,
+    scale: u32,
+    seed: u64,
+) -> SimReport {
+    run_one_cfg(
+        workload,
+        &MachineConfig::paper_default(cores, protocol),
+        scale,
+        seed,
+    )
+}
+
+/// Run one simulation with an explicit machine configuration.
+pub fn run_one_cfg(
+    workload: WorkloadSpec,
+    cfg: &MachineConfig,
+    scale: u32,
+    seed: u64,
+) -> SimReport {
+    let program = workload.build(cfg.cores, scale, seed);
+    Machine::new(cfg)
+        .expect("paper_default configs are valid")
+        .run(&program)
+        .expect("generated workloads are valid programs")
+}
+
+/// Run a full sweep in parallel; returns reports keyed by run.
+pub fn run_suite(
+    workloads: &[WorkloadSpec],
+    protocols: &[ProtocolKind],
+    core_counts: &[usize],
+    params: &EvalParams,
+) -> HashMap<RunKey, SimReport> {
+    let mut keys = Vec::new();
+    for &w in workloads {
+        for &p in protocols {
+            for &c in core_counts {
+                keys.push(RunKey {
+                    workload: w,
+                    protocol: p,
+                    cores: c,
+                });
+            }
+        }
+    }
+    let jobs = if params.jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        params.jobs
+    }
+    .min(keys.len().max(1));
+
+    let work = Mutex::new(keys);
+    let results = Mutex::new(HashMap::new());
+    crossbeam::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|_| loop {
+                let key = {
+                    let mut w = work.lock();
+                    match w.pop() {
+                        Some(k) => k,
+                        None => break,
+                    }
+                };
+                let report = run_one(
+                    key.workload,
+                    key.protocol,
+                    key.cores,
+                    params.scale,
+                    params.seed,
+                );
+                results.lock().insert(key, report);
+            });
+        }
+    })
+    .expect("sweep threads must not panic");
+    results.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_produces_report() {
+        let r = run_one(WorkloadSpec::PingPong, ProtocolKind::MesiBaseline, 2, 1, 1);
+        assert_eq!(r.cores, 2);
+        assert!(r.cycles.0 > 0);
+    }
+
+    #[test]
+    fn suite_covers_cross_product() {
+        let params = EvalParams {
+            cores: 2,
+            scale: 1,
+            seed: 1,
+            jobs: 2,
+        };
+        let out = run_suite(
+            &[WorkloadSpec::PingPong, WorkloadSpec::PrivateOnly],
+            &[ProtocolKind::MesiBaseline, ProtocolKind::Arc],
+            &[2],
+            &params,
+        );
+        assert_eq!(out.len(), 4);
+        for (k, r) in &out {
+            assert_eq!(r.protocol, k.protocol);
+            assert_eq!(r.workload.as_str(), k.workload.name());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let serial = run_one(WorkloadSpec::PingPong, ProtocolKind::Ce, 2, 1, 7);
+        let params = EvalParams {
+            cores: 2,
+            scale: 1,
+            seed: 7,
+            jobs: 4,
+        };
+        let out = run_suite(
+            &[WorkloadSpec::PingPong],
+            &[ProtocolKind::Ce],
+            &[2],
+            &params,
+        );
+        let parallel = out.values().next().unwrap();
+        assert_eq!(serial.cycles, parallel.cycles);
+        assert_eq!(serial.noc.total_bytes(), parallel.noc.total_bytes());
+    }
+}

@@ -1,0 +1,203 @@
+//! The claims checker: read generated results and verify the paper's
+//! three headline claims automatically.
+//!
+//! `paper summary` loads `results/R-*.json` (produced by `paper all`)
+//! and evaluates:
+//!
+//! - **C1** — CE+ improves run time and energy over CE, by removing
+//!   CE's off-chip metadata accesses.
+//! - **C2** — CE+ keeps stressing the on-chip network (its traffic
+//!   stays CE-like and its relative run time does not improve as cores
+//!   grow).
+//! - **C3** — ARC outperforms CE, is competitive with CE+ on average,
+//!   and loads the NoC and memory network much less.
+//!
+//! Each claim is reported with the measured evidence and a PASS/FAIL
+//! verdict, so a regression in the models that silently broke a
+//! headline result is caught by reading one table (and by the unit
+//! tests that run the checker on synthetic inputs).
+
+use rce_common::table::Table;
+use serde_json::Value;
+use std::path::Path;
+
+/// One evaluated claim.
+#[derive(Debug, Clone)]
+pub struct ClaimResult {
+    /// Claim ID ("C1", "C2", "C3").
+    pub id: &'static str,
+    /// What the paper asserts.
+    pub claim: &'static str,
+    /// The measured evidence, human-readable.
+    pub evidence: String,
+    /// Did the measurements support the claim?
+    pub pass: bool,
+}
+
+fn load(dir: &Path, id: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(dir.join(format!("{id}.json"))).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn geomean_row(fig: &Value, design: &str) -> Option<f64> {
+    fig["data"]["rows"]
+        .as_array()?
+        .iter()
+        .find(|r| r["workload"] == "geomean")?[design]
+        .as_f64()
+}
+
+/// Evaluate the claims against a results directory. Returns `None` if
+/// the required files are missing (run `paper all` first).
+pub fn evaluate(dir: &Path) -> Option<Vec<ClaimResult>> {
+    let f1 = load(dir, "R-F1")?;
+    let f3 = load(dir, "R-F3")?;
+    let f4 = load(dir, "R-F4")?;
+    let f5 = load(dir, "R-F5")?;
+
+    let rt = |d: &str| geomean_row(&f1, d);
+    let noc = |d: &str| geomean_row(&f3, d);
+    let dram = |d: &str| geomean_row(&f4, d);
+
+    let (ce_rt, cep_rt, arc_rt) = (rt("CE")?, rt("CE+")?, rt("ARC")?);
+    let (ce_noc, cep_noc, arc_noc) = (noc("CE")?, noc("CE+")?, noc("ARC")?);
+    let (ce_dram, cep_dram, arc_dram) = (dram("CE")?, dram("CE+")?, dram("ARC")?);
+
+    // Scaling rows: CE+ and ARC run-time trend from min to max cores.
+    let scaling = f5["data"]["rows"].as_array()?;
+    let first = scaling.first()?;
+    let last = scaling.last()?;
+    let cep_trend = (first["CE+"].as_f64()?, last["CE+"].as_f64()?);
+    let arc_trend = (first["ARC"].as_f64()?, last["ARC"].as_f64()?);
+
+    let mut out = Vec::new();
+
+    // C1: CE+ < CE in run time, and CE's off-chip overhead disappears.
+    let c1 = cep_rt < ce_rt && ce_dram > 1.1 && cep_dram < 1.1;
+    out.push(ClaimResult {
+        id: "C1",
+        claim: "CE+ improves run time over CE by keeping metadata on-chip",
+        evidence: format!(
+            "runtime geomean CE {ce_rt:.3} -> CE+ {cep_rt:.3}; off-chip traffic CE \
+             {ce_dram:.3}x vs CE+ {cep_dram:.3}x"
+        ),
+        pass: c1,
+    });
+
+    // C2: CE+'s NoC load stays CE-like (high), and its relative run
+    // time does not improve with core count.
+    let c2 = cep_noc > 1.05 && (cep_noc - ce_noc).abs() < 0.1 && cep_trend.1 >= cep_trend.0 - 0.01;
+    out.push(ClaimResult {
+        id: "C2",
+        claim: "CE+ still stresses the on-chip interconnect (eager invalidation + piggybacks)",
+        evidence: format!(
+            "NoC geomean CE {ce_noc:.3}x, CE+ {cep_noc:.3}x; CE+ runtime trend {:.3} -> {:.3} \
+             (min -> max cores)",
+            cep_trend.0, cep_trend.1
+        ),
+        pass: c2,
+    });
+
+    // C3: ARC beats CE, is competitive with CE+ (within 10% or
+    // better), and loads both networks much less.
+    let c3 = arc_rt < ce_rt
+        && arc_rt <= cep_rt * 1.1
+        && arc_noc < cep_noc - 0.1
+        && arc_dram <= cep_dram + 0.05
+        && arc_trend.1 <= arc_trend.0;
+    out.push(ClaimResult {
+        id: "C3",
+        claim: "ARC outperforms CE, is competitive with CE+, with far less network stress",
+        evidence: format!(
+            "runtime ARC {arc_rt:.3} vs CE {ce_rt:.3} / CE+ {cep_rt:.3}; NoC ARC {arc_noc:.3}x \
+             vs CE+ {cep_noc:.3}x; off-chip ARC {arc_dram:.3}x; ARC trend {:.3} -> {:.3}",
+            arc_trend.0, arc_trend.1
+        ),
+        pass: c3,
+    });
+
+    Some(out)
+}
+
+/// Render the claims table.
+pub fn render(claims: &[ClaimResult]) -> String {
+    let mut t = Table::new(
+        "Headline claims vs measurements",
+        &["claim", "verdict", "evidence"],
+    );
+    for c in claims {
+        t.row(vec![
+            format!("{}: {}", c.id, c.claim),
+            if c.pass { "PASS" } else { "FAIL" }.to_string(),
+            c.evidence.clone(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn write_fig(dir: &Path, id: &str, data: Value) {
+        std::fs::write(
+            dir.join(format!("{id}.json")),
+            serde_json::to_string(&json!({"id": id, "data": data})).unwrap(),
+        )
+        .unwrap();
+    }
+
+    fn synthetic_results(dir: &Path, ce: f64, cep: f64, arc: f64) {
+        let rows = |a: f64, b: f64, c: f64| {
+            json!({"rows": [
+                {"workload": "w1", "CE": a, "CE+": b, "ARC": c},
+                {"workload": "geomean", "CE": a, "CE+": b, "ARC": c},
+            ]})
+        };
+        write_fig(dir, "R-F1", rows(ce, cep, arc));
+        write_fig(dir, "R-F3", rows(1.13, 1.13, 0.94));
+        write_fig(dir, "R-F4", rows(1.68, 1.00, 0.99));
+        write_fig(
+            dir,
+            "R-F5",
+            json!({"rows": [
+                {"cores": 8, "CE": ce, "CE+": cep, "ARC": 1.05},
+                {"cores": 64, "CE": ce, "CE+": cep + 0.01, "ARC": 0.86},
+            ]}),
+        );
+    }
+
+    #[test]
+    fn healthy_results_pass_all_claims() {
+        let dir = std::env::temp_dir().join("rce_summary_ok");
+        std::fs::create_dir_all(&dir).unwrap();
+        synthetic_results(&dir, 1.105, 1.034, 0.932);
+        let claims = evaluate(&dir).expect("results present");
+        assert_eq!(claims.len(), 3);
+        for c in &claims {
+            assert!(c.pass, "{}: {}", c.id, c.evidence);
+        }
+        let rendered = render(&claims);
+        assert!(rendered.contains("PASS"));
+        assert!(!rendered.contains("FAIL"));
+    }
+
+    #[test]
+    fn regressions_fail_the_right_claim() {
+        let dir = std::env::temp_dir().join("rce_summary_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        // CE+ slower than CE: C1 must fail.
+        synthetic_results(&dir, 1.0, 1.3, 0.95);
+        let claims = evaluate(&dir).unwrap();
+        assert!(!claims[0].pass, "C1 should fail");
+    }
+
+    #[test]
+    fn missing_results_yield_none() {
+        let dir = std::env::temp_dir().join("rce_summary_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(evaluate(&dir).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-based property tests: `SetAssoc` against a reference model.
+//!
+//! The reference is a map plus an explicit per-set LRU list; the
+//! property is that an arbitrary operation sequence leaves both with
+//! identical contents. This pins the replacement policy (true LRU with
+//! recency updates on `get_mut` but not `peek`) — exactly the behavior
+//! the simulator's hit/miss numbers rest on.
+
+use proptest::prelude::*;
+use rce_cache::SetAssoc;
+use std::collections::HashMap;
+
+const SETS: u64 = 4;
+const WAYS: u32 = 2;
+
+/// Reference: per-set vectors in LRU order (front = LRU).
+#[derive(Default, Debug)]
+struct Model {
+    sets: HashMap<u64, Vec<(u64, u32)>>,
+}
+
+impl Model {
+    fn set_of(key: u64) -> u64 {
+        key & (SETS - 1)
+    }
+
+    fn get(&mut self, key: u64) -> Option<u32> {
+        let set = self.sets.entry(Self::set_of(key)).or_default();
+        if let Some(pos) = set.iter().position(|(k, _)| *k == key) {
+            let e = set.remove(pos);
+            let v = e.1;
+            set.push(e); // most recently used at the back
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn peek(&self, key: u64) -> Option<u32> {
+        self.sets
+            .get(&Self::set_of(key))?
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    fn insert(&mut self, key: u64, value: u32) -> Option<(u64, u32)> {
+        let set = self.sets.entry(Self::set_of(key)).or_default();
+        assert!(set.iter().all(|(k, _)| *k != key));
+        let evicted = if set.len() == WAYS as usize {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push((key, value));
+        evicted
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u32> {
+        let set = self.sets.entry(Self::set_of(key)).or_default();
+        let pos = set.iter().position(|(k, _)| *k == key)?;
+        Some(set.remove(pos).1)
+    }
+
+    fn len(&self) -> usize {
+        self.sets.values().map(Vec::len).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u64),
+    Peek(u64),
+    Insert(u64, u32),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u64..16;
+    prop_oneof![
+        key.clone().prop_map(Op::Get),
+        key.clone().prop_map(Op::Peek),
+        (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn set_assoc_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut real: SetAssoc<u32> = SetAssoc::new(SETS, WAYS);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    let r = real.get_mut(k).map(|v| *v);
+                    let m = model.get(k);
+                    prop_assert_eq!(r, m, "get {}", k);
+                }
+                Op::Peek(k) => {
+                    prop_assert_eq!(real.peek(k).copied(), model.peek(k), "peek {}", k);
+                }
+                Op::Insert(k, v) => {
+                    if real.contains(k) {
+                        continue; // double insert is a caller error
+                    }
+                    let r = real.insert(k, v);
+                    let m = model.insert(k, v);
+                    prop_assert_eq!(r, m, "insert {} eviction", k);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(real.remove(k), model.remove(k), "remove {}", k);
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+        }
+        // Final contents identical.
+        let mut real_items: Vec<_> = real.iter().map(|(k, v)| (k, *v)).collect();
+        real_items.sort_unstable();
+        let mut model_items: Vec<_> = model
+            .sets
+            .values()
+            .flatten()
+            .copied()
+            .collect();
+        model_items.sort_unstable();
+        prop_assert_eq!(real_items, model_items);
+    }
+
+    #[test]
+    fn capacity_never_exceeded(keys in proptest::collection::vec(0u64..64, 1..300)) {
+        let mut a: SetAssoc<u64> = SetAssoc::new(SETS, WAYS);
+        for k in keys {
+            if !a.contains(k) {
+                a.insert(k, k);
+            }
+            prop_assert!(a.len() as u64 <= SETS * WAYS as u64);
+            // No set holds more than WAYS entries of its own index.
+            for s in 0..SETS {
+                let in_set = a.iter().filter(|(k, _)| k & (SETS - 1) == s).count();
+                prop_assert!(in_set <= WAYS as usize);
+            }
+        }
+    }
+}

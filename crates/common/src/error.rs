@@ -1,0 +1,66 @@
+//! Error taxonomy for the simulator.
+//!
+//! Note that a *conflict exception* is not an error: it is the
+//! mechanism's deliverable and is modeled in `rce-core::exception`.
+//! `RceError` covers genuine misuse: invalid configurations, malformed
+//! programs, and driver protocol violations.
+
+use serde::{Deserialize, Serialize};
+
+/// Result alias used across the workspace.
+pub type RceResult<T> = Result<T, RceError>;
+
+/// Errors raised by the simulator infrastructure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RceError {
+    /// The machine configuration failed validation.
+    InvalidConfig(String),
+    /// The input program is structurally malformed (unbalanced
+    /// acquire/release, barrier arity mismatch, thread count mismatch).
+    MalformedProgram(String),
+    /// The simulation driver was used incorrectly (e.g., events after
+    /// thread end).
+    DriverProtocol(String),
+    /// A resource limit was exceeded (runaway simulation).
+    LimitExceeded(String),
+}
+
+impl std::fmt::Display for RceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RceError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            RceError::MalformedProgram(m) => write!(f, "malformed program: {m}"),
+            RceError::DriverProtocol(m) => write!(f, "driver protocol violation: {m}"),
+            RceError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_category() {
+        assert!(RceError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid configuration"));
+        assert!(RceError::MalformedProgram("y".into())
+            .to_string()
+            .contains("malformed program"));
+        assert!(RceError::DriverProtocol("z".into())
+            .to_string()
+            .contains("driver protocol"));
+        assert!(RceError::LimitExceeded("w".into())
+            .to_string()
+            .contains("limit exceeded"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RceError::InvalidConfig("c".into()));
+    }
+}

@@ -1,0 +1,381 @@
+//! Access metadata: per-line, per-core, per-word read/write bits.
+//!
+//! A [`MetaMap`] is the unit of conflict-detection state attached to a
+//! cache line wherever it lives (an L1 line, the in-memory metadata
+//! table, an AIM entry). Every entry is tagged with the region that
+//! created it; entries from regions that have since ended are treated
+//! as cleared (region tags make stale metadata harmless while the
+//! engines still pay the modeled cost of explicitly scrubbing it —
+//! see DESIGN.md).
+
+use crate::exception::{AccessType, ConflictSide};
+use rce_common::{CoreId, RegionId, WordMask};
+use serde::{Deserialize, Serialize};
+
+/// One core's access bits for one line within one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaEntry {
+    /// Which core.
+    pub core: CoreId,
+    /// The region the bits belong to. Bits are live only while this
+    /// is the core's current region.
+    pub region: RegionId,
+    /// Words read.
+    pub read: WordMask,
+    /// Words written.
+    pub written: WordMask,
+}
+
+impl MetaEntry {
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.read.is_empty() && self.written.is_empty()
+    }
+}
+
+/// All cores' access bits for one line.
+///
+/// Stored as a small vector (cores touching one line concurrently are
+/// few); lookups are linear scans.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaMap {
+    entries: Vec<MetaEntry>,
+}
+
+/// The result of checking an access against a [`MetaMap`]: the
+/// conflicting opposing sides and the overlapping words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictCheck {
+    /// `(opposing side, overlapping words)` pairs.
+    pub conflicts: Vec<(ConflictSide, WordMask)>,
+}
+
+impl ConflictCheck {
+    /// No conflicts.
+    pub fn empty() -> Self {
+        ConflictCheck {
+            conflicts: Vec::new(),
+        }
+    }
+
+    /// True if any conflict was found.
+    pub fn any(&self) -> bool {
+        !self.conflicts.is_empty()
+    }
+}
+
+impl MetaMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        MetaMap::default()
+    }
+
+    /// True if there are no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries (including possibly-stale ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entry for `core`, if present.
+    pub fn get(&self, core: CoreId) -> Option<&MetaEntry> {
+        self.entries.iter().find(|e| e.core == core)
+    }
+
+    /// Record an access by `core` in `region`: set `mask` bits of the
+    /// given kind. If the core's existing entry is from an older
+    /// region it is replaced (its bits are dead by definition).
+    pub fn record(&mut self, core: CoreId, region: RegionId, kind: AccessType, mask: WordMask) {
+        match self.entries.iter_mut().find(|e| e.core == core) {
+            Some(e) => {
+                if e.region != region {
+                    e.region = region;
+                    e.read = WordMask::EMPTY;
+                    e.written = WordMask::EMPTY;
+                }
+                match kind {
+                    AccessType::Read => e.read |= mask,
+                    AccessType::Write => e.written |= mask,
+                }
+            }
+            None => {
+                let (read, written) = match kind {
+                    AccessType::Read => (mask, WordMask::EMPTY),
+                    AccessType::Write => (WordMask::EMPTY, mask),
+                };
+                self.entries.push(MetaEntry {
+                    core,
+                    region,
+                    read,
+                    written,
+                });
+            }
+        }
+    }
+
+    /// Check an access (`core`, `kind`, `mask`) against every *live*
+    /// opposing entry. `live` decides whether an entry's region is
+    /// still the owning core's current region.
+    pub fn check(
+        &self,
+        core: CoreId,
+        kind: AccessType,
+        mask: WordMask,
+        live: impl Fn(CoreId, RegionId) -> bool,
+    ) -> ConflictCheck {
+        let mut conflicts = Vec::new();
+        for e in &self.entries {
+            if e.core == core || !live(e.core, e.region) {
+                continue;
+            }
+            // A write conflicts with remote reads and writes; a read
+            // conflicts with remote writes only. When the remote
+            // region both read and wrote a word, *both* identities are
+            // reported: conflict identity follows set-intersection
+            // semantics (each overlapping kind pair is one conflict),
+            // which is what makes eager (CE) and lazy/self-invalidation
+            // (ARC) detection agree — a stale re-read in ARC dedups
+            // against the identity created when the remote write first
+            // met the read bit.
+            let (write_part, read_part) = match kind {
+                AccessType::Write => (mask.intersect(e.written), mask.intersect(e.read)),
+                AccessType::Read => (mask.intersect(e.written), WordMask::EMPTY),
+            };
+            if !write_part.is_empty() {
+                conflicts.push((
+                    ConflictSide {
+                        core: e.core,
+                        region: e.region,
+                        kind: AccessType::Write,
+                    },
+                    write_part,
+                ));
+            }
+            if !read_part.is_empty() {
+                conflicts.push((
+                    ConflictSide {
+                        core: e.core,
+                        region: e.region,
+                        kind: AccessType::Read,
+                    },
+                    read_part,
+                ));
+            }
+        }
+        ConflictCheck { conflicts }
+    }
+
+    /// Merge another map into this one (entry-wise union; newer region
+    /// wins within a core).
+    pub fn merge(&mut self, other: &MetaMap) {
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|m| m.core == e.core) {
+                Some(m) => {
+                    use std::cmp::Ordering;
+                    match m.region.cmp(&e.region) {
+                        Ordering::Less => *m = *e,
+                        Ordering::Equal => {
+                            m.read |= e.read;
+                            m.written |= e.written;
+                        }
+                        Ordering::Greater => {}
+                    }
+                }
+                None => self.entries.push(*e),
+            }
+        }
+    }
+
+    /// Remove `core`'s entry (explicit scrub), returning whether one
+    /// was present.
+    pub fn clear_core(&mut self, core: CoreId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.core != core);
+        self.entries.len() != before
+    }
+
+    /// Drop entries that are no longer live (housekeeping to bound
+    /// growth in long simulations).
+    pub fn prune(&mut self, live: impl Fn(CoreId, RegionId) -> bool) {
+        self.entries.retain(|e| live(e.core, e.region));
+    }
+
+    /// Iterate all entries (live or stale).
+    pub fn iter(&self) -> impl Iterator<Item = &MetaEntry> {
+        self.entries.iter()
+    }
+
+    /// True if any *live* bits exist for a core other than `except`.
+    pub fn any_live_other(&self, except: CoreId, live: impl Fn(CoreId, RegionId) -> bool) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.core != except && !e.is_empty() && live(e.core, e.region))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rce_common::WordIdx;
+
+    const fn c(i: u16) -> CoreId {
+        CoreId(i)
+    }
+    const fn r(i: u64) -> RegionId {
+        RegionId(i)
+    }
+    fn w(i: u8) -> WordMask {
+        WordMask::single(WordIdx(i))
+    }
+    fn live_all(_: CoreId, _: RegionId) -> bool {
+        true
+    }
+
+    #[test]
+    fn record_and_get() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Read, w(2));
+        m.record(c(0), r(1), AccessType::Write, w(3));
+        let e = m.get(c(0)).unwrap();
+        assert_eq!(e.read, w(2));
+        assert_eq!(e.written, w(3));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn newer_region_replaces_stale_bits() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Write, w(0));
+        m.record(c(0), r(2), AccessType::Read, w(1));
+        let e = m.get(c(0)).unwrap();
+        assert_eq!(e.region, r(2));
+        assert!(e.written.is_empty(), "old region's bits are dead");
+        assert_eq!(e.read, w(1));
+    }
+
+    #[test]
+    fn write_read_conflict_detected() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Read, w(4));
+        let chk = m.check(c(1), AccessType::Write, w(4), live_all);
+        assert!(chk.any());
+        assert_eq!(chk.conflicts[0].0.core, c(0));
+        assert_eq!(chk.conflicts[0].0.kind, AccessType::Read);
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Read, w(4));
+        let chk = m.check(c(1), AccessType::Read, w(4), live_all);
+        assert!(!chk.any());
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Write, w(7));
+        let chk = m.check(c(1), AccessType::Write, w(7), live_all);
+        assert!(chk.any());
+        assert_eq!(chk.conflicts[0].0.kind, AccessType::Write);
+    }
+
+    #[test]
+    fn disjoint_words_do_not_conflict() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Write, w(0));
+        let chk = m.check(c(1), AccessType::Write, w(1), live_all);
+        assert!(!chk.any());
+    }
+
+    #[test]
+    fn own_bits_never_conflict() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Write, w(0));
+        let chk = m.check(c(0), AccessType::Write, w(0), live_all);
+        assert!(!chk.any());
+    }
+
+    #[test]
+    fn stale_entries_are_ignored_by_liveness() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Write, w(0));
+        let live = |core: CoreId, region: RegionId| !(core == c(0) && region == r(1));
+        let chk = m.check(c(1), AccessType::Write, w(0), live);
+        assert!(!chk.any());
+    }
+
+    #[test]
+    fn both_kinds_reported_when_opponent_read_and_wrote() {
+        // Word both read and written by the opponent: a write against
+        // it is two conflict identities (W-W and W-R). See the check()
+        // comment for why this matters for lazy detection.
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Read, w(5));
+        m.record(c(0), r(1), AccessType::Write, w(5));
+        let chk = m.check(c(1), AccessType::Write, w(5), live_all);
+        assert_eq!(chk.conflicts.len(), 2);
+        let kinds: Vec<_> = chk.conflicts.iter().map(|(s, _)| s.kind).collect();
+        assert!(kinds.contains(&AccessType::Write));
+        assert!(kinds.contains(&AccessType::Read));
+        // A read against the same map conflicts only with the write.
+        let chk = m.check(c(1), AccessType::Read, w(5), live_all);
+        assert_eq!(chk.conflicts.len(), 1);
+        assert_eq!(chk.conflicts[0].0.kind, AccessType::Write);
+    }
+
+    #[test]
+    fn merge_unions_same_region() {
+        let mut a = MetaMap::new();
+        a.record(c(0), r(1), AccessType::Read, w(0));
+        let mut b = MetaMap::new();
+        b.record(c(0), r(1), AccessType::Write, w(1));
+        b.record(c(1), r(3), AccessType::Read, w(2));
+        a.merge(&b);
+        let e = a.get(c(0)).unwrap();
+        assert_eq!(e.read, w(0));
+        assert_eq!(e.written, w(1));
+        assert!(a.get(c(1)).is_some());
+    }
+
+    #[test]
+    fn merge_newer_region_wins() {
+        let mut a = MetaMap::new();
+        a.record(c(0), r(1), AccessType::Read, w(0));
+        let mut b = MetaMap::new();
+        b.record(c(0), r(2), AccessType::Write, w(1));
+        a.merge(&b);
+        let e = a.get(c(0)).unwrap();
+        assert_eq!(e.region, r(2));
+        assert!(e.read.is_empty());
+        // And merging the older one back changes nothing.
+        let mut old = MetaMap::new();
+        old.record(c(0), r(1), AccessType::Read, w(3));
+        a.merge(&old);
+        assert_eq!(a.get(c(0)).unwrap().region, r(2));
+    }
+
+    #[test]
+    fn clear_and_prune() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Read, w(0));
+        m.record(c(1), r(2), AccessType::Write, w(1));
+        assert!(m.clear_core(c(0)));
+        assert!(!m.clear_core(c(0)));
+        assert_eq!(m.len(), 1);
+        m.prune(|_, _| false);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn any_live_other() {
+        let mut m = MetaMap::new();
+        m.record(c(0), r(1), AccessType::Read, w(0));
+        assert!(m.any_live_other(c(1), live_all));
+        assert!(!m.any_live_other(c(0), live_all));
+        assert!(!m.any_live_other(c(1), |_, _| false));
+    }
+}

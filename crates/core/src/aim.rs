@@ -1,0 +1,281 @@
+//! The access information memory (AIM) — the on-chip metadata cache
+//! that turns CE into CE+ and backs ARC's LLC-side detection.
+//!
+//! The AIM is a set-associative cache of [`MetaMap`]s keyed by line
+//! address, physically distributed alongside the LLC banks (an AIM
+//! slice sits at each line's home bank, so reaching it costs the same
+//! NoC trip a coherence request already makes). Entries evicted from
+//! the AIM spill to a DRAM-backed table and are refilled on demand;
+//! the caller charges the DRAM traffic for both (the [`AimOutcome`]
+//! flags tell it to).
+
+use crate::access::MetaMap;
+use rce_cache::SetAssoc;
+use rce_common::{AimConfig, Counter, LineAddr};
+use std::collections::HashMap;
+
+/// What `ensure` had to do to make a line's entry resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AimOutcome {
+    /// The entry was found resident (metadata hit).
+    pub hit: bool,
+    /// A spilled entry was brought back from the DRAM table (charge a
+    /// metadata read).
+    pub refilled: bool,
+    /// A victim entry with live metadata was spilled to the DRAM table
+    /// (charge a metadata write).
+    pub spilled: bool,
+}
+
+/// The metadata cache.
+#[derive(Debug, Clone)]
+pub struct Aim {
+    array: SetAssoc<MetaMap>,
+    /// DRAM-backed overflow table (cost charged by the caller via
+    /// [`AimOutcome`]).
+    backing: HashMap<u64, MetaMap>,
+    /// Entry size in bytes when spilled / transferred.
+    pub entry_bytes: u64,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// Total AIM lookups.
+    pub accesses: Counter,
+    /// Lookups that found the entry resident.
+    pub hits: Counter,
+    /// Lookups that did not.
+    pub misses: Counter,
+    /// Entries spilled to DRAM.
+    pub spills: Counter,
+    /// Entries refilled from DRAM.
+    pub refills: Counter,
+}
+
+impl Aim {
+    /// Build from configuration.
+    pub fn new(cfg: &AimConfig) -> Self {
+        Aim {
+            array: SetAssoc::with_entries(cfg.entries, cfg.ways),
+            backing: HashMap::new(),
+            entry_bytes: cfg.entry_bytes,
+            latency: cfg.latency,
+            accesses: Counter::default(),
+            hits: Counter::default(),
+            misses: Counter::default(),
+            spills: Counter::default(),
+            refills: Counter::default(),
+        }
+    }
+
+    /// Make `line`'s entry resident (allocating an empty one if truly
+    /// new), possibly refilling from or spilling to the DRAM table.
+    pub fn ensure(&mut self, line: LineAddr) -> AimOutcome {
+        self.accesses.inc();
+        if self.array.contains(line.0) {
+            self.hits.inc();
+            // Touch for recency.
+            let _ = self.array.get_mut(line.0);
+            return AimOutcome {
+                hit: true,
+                ..Default::default()
+            };
+        }
+        self.misses.inc();
+        let (entry, refilled) = match self.backing.remove(&line.0) {
+            Some(m) => (m, true),
+            None => (MetaMap::new(), false),
+        };
+        if refilled {
+            self.refills.inc();
+        }
+        let mut spilled = false;
+        if let Some((victim, vmeta)) = self.array.insert(line.0, entry) {
+            if !vmeta.is_empty() {
+                self.backing.insert(victim, vmeta);
+                self.spills.inc();
+                spilled = true;
+            }
+        }
+        AimOutcome {
+            hit: false,
+            refilled,
+            spilled,
+        }
+    }
+
+    /// The resident entry for `line`. Panics if not ensured first.
+    pub fn entry(&mut self, line: LineAddr) -> &mut MetaMap {
+        self.array
+            .get_mut(line.0)
+            .expect("AIM entry must be ensured before use")
+    }
+
+    /// Scrub one core's bits for `line`, wherever the entry lives
+    /// (resident or spilled). Returns true if bits were present.
+    pub fn clear_core(&mut self, line: LineAddr, core: rce_common::CoreId) -> bool {
+        self.accesses.inc();
+        if let Some(m) = self.array.get_mut(line.0) {
+            self.hits.inc();
+            return m.clear_core(core);
+        }
+        self.misses.inc();
+        if let Some(m) = self.backing.get_mut(&line.0) {
+            let had = m.clear_core(core);
+            if m.is_empty() {
+                self.backing.remove(&line.0);
+            }
+            return had;
+        }
+        false
+    }
+
+    /// Drop dead entries everywhere (housekeeping; free of model cost
+    /// because region tags already neutralize stale bits — see
+    /// DESIGN.md).
+    pub fn prune(&mut self, live: impl Fn(rce_common::CoreId, rce_common::RegionId) -> bool) {
+        for (_, m) in self.array.iter_mut() {
+            m.prune(&live);
+        }
+        self.backing.retain(|_, m| {
+            m.prune(&live);
+            !m.is_empty()
+        });
+    }
+
+    /// Resident entry count.
+    pub fn resident(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Spilled entry count.
+    pub fn spilled_entries(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits.as_f64() / total as f64
+        }
+    }
+
+    /// `(accesses, hits, misses, spills)` for reports.
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        (
+            self.accesses.get(),
+            self.hits.get(),
+            self.misses.get(),
+            self.spills.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::AccessType;
+    use rce_common::{CoreId, RegionId, WordIdx, WordMask};
+
+    fn small_aim() -> Aim {
+        Aim::new(&AimConfig {
+            entries: 8,
+            ways: 2,
+            latency: 4,
+            entry_bytes: 16,
+        })
+    }
+
+    #[test]
+    fn ensure_then_entry() {
+        let mut a = small_aim();
+        let o = a.ensure(LineAddr(1));
+        assert!(!o.hit && !o.refilled && !o.spilled);
+        a.entry(LineAddr(1)).record(
+            CoreId(0),
+            RegionId(1),
+            AccessType::Write,
+            WordMask::single(WordIdx(0)),
+        );
+        let o = a.ensure(LineAddr(1));
+        assert!(o.hit);
+        assert!(a.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn spill_and_refill_roundtrip() {
+        let mut a = small_aim(); // 4 sets x 2 ways
+                                 // Fill set 0 (lines 0, 4) with live metadata, then overflow it.
+        for l in [0u64, 4] {
+            a.ensure(LineAddr(l));
+            a.entry(LineAddr(l))
+                .record(CoreId(0), RegionId(1), AccessType::Read, WordMask::FULL);
+        }
+        let o = a.ensure(LineAddr(8)); // same set, evicts LRU (line 0)
+        assert!(o.spilled);
+        assert_eq!(a.spilled_entries(), 1);
+        // Touching line 0 again refills from backing.
+        let o = a.ensure(LineAddr(0));
+        assert!(o.refilled);
+        assert!(
+            !a.entry(LineAddr(0)).is_empty(),
+            "metadata survived the spill"
+        );
+        assert!(a.spilled_entries() <= 1);
+    }
+
+    #[test]
+    fn empty_victims_are_not_spilled() {
+        let mut a = small_aim();
+        for l in [0u64, 4, 8] {
+            a.ensure(LineAddr(l)); // all empty entries
+        }
+        assert_eq!(a.spills.get(), 0);
+        assert_eq!(a.spilled_entries(), 0);
+    }
+
+    #[test]
+    fn clear_core_resident_and_spilled() {
+        let mut a = small_aim();
+        a.ensure(LineAddr(3));
+        a.entry(LineAddr(3)).record(
+            CoreId(2),
+            RegionId(5),
+            AccessType::Write,
+            WordMask::single(WordIdx(1)),
+        );
+        assert!(a.clear_core(LineAddr(3), CoreId(2)));
+        assert!(!a.clear_core(LineAddr(3), CoreId(2)));
+
+        // Spilled path.
+        a.entry(LineAddr(3)).record(
+            CoreId(1),
+            RegionId(9),
+            AccessType::Read,
+            WordMask::single(WordIdx(0)),
+        );
+        a.ensure(LineAddr(7));
+        a.ensure(LineAddr(11)); // set 3: 3, 7, 11 -> spills line 3
+        assert_eq!(a.spilled_entries(), 1);
+        assert!(a.clear_core(LineAddr(3), CoreId(1)));
+        assert_eq!(a.spilled_entries(), 0, "empty spilled entries are dropped");
+    }
+
+    #[test]
+    fn prune_drops_dead_metadata() {
+        let mut a = small_aim();
+        a.ensure(LineAddr(1));
+        a.entry(LineAddr(1))
+            .record(CoreId(0), RegionId(1), AccessType::Write, WordMask::FULL);
+        a.prune(|_, _| false);
+        assert!(a.entry(LineAddr(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ensured")]
+    fn entry_requires_ensure() {
+        let mut a = small_aim();
+        let _ = a.entry(LineAddr(42));
+    }
+}

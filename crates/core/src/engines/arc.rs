@@ -1,0 +1,784 @@
+//! ARC: conflict detection on release-consistency +
+//! self-invalidation coherence.
+//!
+//! The design (reconstructed from the abstract; see DESIGN.md):
+//!
+//! - **No eager invalidations.** Private caches hold lines as
+//!   valid/invalid with per-word dirty bits; nobody is ever forced to
+//!   give up a copy.
+//! - **Private/shared classification at the LLC.** A line first
+//!   touched by one core is *private* to it; when a second core
+//!   requests it, the LLC *recalls* the owner's dirty words and
+//!   current-region access bits and reclassifies the line *shared*.
+//! - **Word registration.** The first access per word/kind/region to
+//!   a shared line sends a small registration message to the line's
+//!   home LLC bank, where the **AIM** holds every core's current-region
+//!   access bits and checks conflicts on the spot. Registration rides
+//!   the miss request when the access misses (the common case, thanks
+//!   to self-invalidation).
+//! - **Region boundaries** (every synchronization operation): the core
+//!   flushes dirty words of shared lines to the LLC (release
+//!   semantics), clears its AIM registrations (one small message per
+//!   touched line), and *self-invalidates* its shared lines so the
+//!   next region re-fetches fresh data (acquire semantics). Private
+//!   lines — clean or dirty — stay put.
+//!
+//! Compared with CE+: no invalidation/ack storms, no per-message
+//! metadata piggybacks, dirty-word (not whole-line) writebacks — at
+//! the cost of re-fetching shared data each region and paying
+//! registration messages.
+
+use crate::aim::Aim;
+use crate::engines::exceptions_from;
+use crate::exception::{AccessType, ConflictException, ConflictSide};
+use crate::protocol::{AccessResult, Engine, Substrate};
+use rce_cache::L1Cache;
+use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, WordMask};
+use rce_noc::MsgClass;
+use std::collections::{HashMap, HashSet};
+
+/// Per-line L1 state for ARC.
+#[derive(Debug, Clone, Default)]
+pub struct ArcLine {
+    /// Classification hint delivered with the fill (or flipped by a
+    /// recall): shared lines self-invalidate at region boundaries.
+    pub shared: bool,
+    /// Read-only hint (only with `arc_readonly_sharing`): the line had
+    /// never been written when filled, so it survives region
+    /// boundaries. Cleared if this core writes it. The hint may go
+    /// stale when *another* core writes the line; detection stays
+    /// exact regardless, because first-touch registrations are driven
+    /// by the per-region masks, not by misses (see the module tests).
+    pub ro: bool,
+    /// Dirty words not yet written through to the LLC.
+    pub dirty: WordMask,
+    /// Words this core read this region (registration filter).
+    pub read_words: WordMask,
+    /// Words this core wrote this region (registration filter).
+    pub written_words: WordMask,
+}
+
+/// LLC-side classification of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Private(CoreId),
+    Shared,
+}
+
+/// The ARC engine.
+pub struct ArcEngine {
+    l1: Vec<L1Cache<ArcLine>>,
+    aim: Aim,
+    class: HashMap<u64, Class>,
+    /// Lines that have ever been written (drives the read-only
+    /// classification when `arc_readonly_sharing` is on).
+    written_ever: HashSet<u64>,
+    /// Per core: lines with AIM registrations this region (cleared at
+    /// the boundary).
+    touched: Vec<HashSet<u64>>,
+    registrations: Counter,
+    recalls: Counter,
+    self_invalidated: Counter,
+    /// Shared lines retained across boundaries by the read-only
+    /// optimization.
+    ro_retained: Counter,
+    flushed_words: Counter,
+    private_spills: Counter,
+    conflicts: Counter,
+}
+
+impl ArcEngine {
+    /// Build from configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        ArcEngine {
+            l1: (0..cfg.cores).map(|_| L1Cache::new(&cfg.l1)).collect(),
+            aim: Aim::new(&cfg.aim),
+            class: HashMap::new(),
+            written_ever: HashSet::new(),
+            touched: vec![HashSet::new(); cfg.cores],
+            registrations: Counter::default(),
+            recalls: Counter::default(),
+            self_invalidated: Counter::default(),
+            ro_retained: Counter::default(),
+            flushed_words: Counter::default(),
+            private_spills: Counter::default(),
+            conflicts: Counter::default(),
+        }
+    }
+
+    /// Charge the DRAM side effects of an AIM `ensure` (spill/refill),
+    /// starting from the line's home bank at `t`. Returns when the
+    /// entry is usable.
+    fn charge_aim(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
+        let o = self.aim.ensure(line);
+        let bank = sub.bank_node(line);
+        let mem = sub.noc.mem_node(line);
+        let mut ready = Cycles(t.0 + self.aim.latency);
+        if o.refilled {
+            let t1 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t);
+            let t2 = sub.dram.access(
+                line,
+                self.aim.entry_bytes,
+                rce_dram::AccessKind::MetaRead,
+                t1,
+            );
+            ready = sub.noc.send(mem, bank, 16, MsgClass::Metadata, t2);
+        }
+        if o.spilled {
+            let t1 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t);
+            let _ = sub.dram.access(
+                line,
+                self.aim.entry_bytes,
+                rce_dram::AccessKind::MetaWrite,
+                t1,
+            );
+        }
+        ready
+    }
+
+    /// Register `mask` bits of `kind` for `core` at the line's AIM
+    /// entry (already ensured), checking for conflicts first.
+    fn aim_check_record(
+        &mut self,
+        sub: &Substrate,
+        core: CoreId,
+        line: LineAddr,
+        mask: WordMask,
+        kind: AccessType,
+        at: Cycles,
+    ) -> Vec<ConflictException> {
+        let region = sub.region_of(core);
+        let entry = self.aim.entry(line);
+        let chk = entry.check(core, kind, mask, |c, r| sub.is_live(c, r));
+        entry.record(core, region, kind, mask);
+        self.touched[core.index()].insert(line.0);
+        if chk.any() {
+            let me = ConflictSide { core, region, kind };
+            let ex = exceptions_from(&chk, me, line, at);
+            self.conflicts.add(ex.len() as u64);
+            ex
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Recall a private owner's in-flight state when a second core
+    /// requests the line: dirty words flush to the LLC, current-region
+    /// access bits merge into the AIM entry, and the owner's copy is
+    /// reclassified shared. Returns when the recall completes.
+    fn recall(
+        &mut self,
+        sub: &mut Substrate,
+        owner: CoreId,
+        line: LineAddr,
+        t_at_bank: Cycles,
+    ) -> Cycles {
+        self.recalls.inc();
+        let bank = sub.bank_node(line);
+        let owner_node = sub.core_node(owner);
+        let probe = sub.noc.send(
+            bank,
+            owner_node,
+            sub.cfg.noc.ctrl_bytes,
+            MsgClass::Request,
+            t_at_bank,
+        );
+        let mut reply = probe;
+        let owner_region = sub.region_of(owner);
+        // The owner's surviving copy gets the same classification a
+        // fresh fill would: read-only if the line was never written.
+        let ro_hint = sub.cfg.arc_readonly_sharing && !self.written_ever.contains(&line.0);
+        if let Some(st) = self.l1[owner.index()].probe_mut(line) {
+            st.shared = true;
+            st.ro = ro_hint && st.written_words.is_empty() && st.dirty.is_empty();
+            let dirty = st.dirty;
+            st.dirty = WordMask::EMPTY;
+            let read_words = st.read_words;
+            let written_words = st.written_words;
+            // Flush dirty words.
+            if !dirty.is_empty() {
+                self.flushed_words.add(dirty.count() as u64);
+                let bytes = sub.cfg.noc.data_header_bytes + 8 * dirty.count() as u64;
+                let wb = sub
+                    .noc
+                    .send(owner_node, bank, bytes, MsgClass::Writeback, probe);
+                sub.llc_put(line, wb);
+                reply = reply.max(wb);
+            }
+            if !written_words.is_empty() {
+                self.written_ever.insert(line.0);
+            }
+            // Merge the owner's current-region bits into the AIM.
+            if !read_words.is_empty() || !written_words.is_empty() {
+                let meta_at = sub.noc.send(
+                    owner_node,
+                    bank,
+                    sub.cfg.aim.entry_bytes,
+                    MsgClass::Metadata,
+                    probe,
+                );
+                reply = reply.max(meta_at);
+                let entry = self.aim.entry(line);
+                if !read_words.is_empty() {
+                    entry.record(owner, owner_region, AccessType::Read, read_words);
+                }
+                if !written_words.is_empty() {
+                    entry.record(owner, owner_region, AccessType::Write, written_words);
+                }
+                self.touched[owner.index()].insert(line.0);
+            }
+        } else {
+            // Owner no longer caches it; its state already reached the
+            // LLC/AIM on eviction. Just the probe/ack round trip.
+            reply = sub.noc.send(
+                owner_node,
+                bank,
+                sub.cfg.noc.ctrl_bytes,
+                MsgClass::Response,
+                probe,
+            );
+        }
+        reply
+    }
+
+    /// Fill `line` into `core`'s L1, handling the victim: dirty-word
+    /// writeback, private-line metadata spill to the AIM.
+    fn fill_line(
+        &mut self,
+        sub: &mut Substrate,
+        core: CoreId,
+        line: LineAddr,
+        state: ArcLine,
+        at: Cycles,
+    ) {
+        let me = sub.core_node(core);
+        if let Some((victim, vstate)) = self.l1[core.index()].fill(line, state) {
+            let vbank = sub.bank_node(victim);
+            if !vstate.dirty.is_empty() {
+                let bytes = sub.cfg.noc.data_header_bytes + 8 * vstate.dirty.count() as u64;
+                let wb = sub.noc.send(me, vbank, bytes, MsgClass::Writeback, at);
+                sub.llc_put(victim, wb);
+            }
+            // A private victim's current-region bits must stay visible
+            // for conflict checks: spill them to the AIM. (Shared
+            // victims registered eagerly; nothing to do.)
+            if !vstate.written_words.is_empty() {
+                self.written_ever.insert(victim.0);
+            }
+            if !vstate.shared && (!vstate.read_words.is_empty() || !vstate.written_words.is_empty())
+            {
+                self.private_spills.inc();
+                let t1 = sub
+                    .noc
+                    .send(me, vbank, sub.cfg.aim.entry_bytes, MsgClass::Metadata, at);
+                let _ready = self.charge_aim(sub, victim, t1);
+                let region = sub.region_of(core);
+                let entry = self.aim.entry(victim);
+                if !vstate.read_words.is_empty() {
+                    entry.record(core, region, AccessType::Read, vstate.read_words);
+                }
+                if !vstate.written_words.is_empty() {
+                    entry.record(core, region, AccessType::Write, vstate.written_words);
+                }
+                self.touched[core.index()].insert(victim.0);
+            }
+        }
+    }
+
+    /// Diagnostic invariants: no dirty shared words survive a
+    /// boundary; classification is consistent with residency.
+    pub fn check_invariants(&self, _sub: &Substrate) -> Result<(), String> {
+        for (c, cache) in self.l1.iter().enumerate() {
+            for (line, st) in cache.iter() {
+                match self.class.get(&line.0) {
+                    Some(Class::Private(owner)) => {
+                        if owner.index() != c {
+                            return Err(format!(
+                                "core {c} caches {line} which is private to {owner}"
+                            ));
+                        }
+                        if st.shared {
+                            return Err(format!(
+                                "core {c} marks {line} shared but LLC says private"
+                            ));
+                        }
+                        if st.ro {
+                            return Err(format!("core {c}: private {line} marked ro"));
+                        }
+                    }
+                    Some(Class::Shared) => {
+                        if !st.shared {
+                            return Err(format!(
+                                "core {c} marks {line} private but LLC says shared"
+                            ));
+                        }
+                    }
+                    None => {
+                        return Err(format!("core {c} caches unclassified {line}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Engine for ArcEngine {
+    fn access(
+        &mut self,
+        sub: &mut Substrate,
+        core: CoreId,
+        addr: Addr,
+        mask: WordMask,
+        kind: AccessType,
+        now: Cycles,
+    ) -> AccessResult {
+        let line = addr.line();
+        let l1_lat = sub.cfg.l1.latency;
+        let me = sub.core_node(core);
+        let bank = sub.bank_node(line);
+
+        // Metadata mask (may be widened to the whole line by the
+        // granularity ablation); dirty tracking always uses the real
+        // access words.
+        let dmask = sub.cfg.detect_mask(mask);
+
+        // L1 lookup.
+        let hit = self.l1[core.index()].access(line).is_some();
+        if hit {
+            let (is_shared, new_words) = {
+                let st = self.l1[core.index()].probe_mut(line).expect("hit");
+                let new = match kind {
+                    AccessType::Read => dmask.minus(st.read_words),
+                    AccessType::Write => dmask.minus(st.written_words),
+                };
+                match kind {
+                    AccessType::Read => st.read_words |= dmask,
+                    AccessType::Write => {
+                        st.written_words |= dmask;
+                        st.dirty |= mask;
+                        st.ro = false;
+                    }
+                }
+                (st.shared, new)
+            };
+            if kind == AccessType::Write {
+                self.written_ever.insert(line.0);
+            }
+            let done = Cycles(now.0 + l1_lat);
+            let mut exceptions = Vec::new();
+            if is_shared && !new_words.is_empty() {
+                // First touch of these words this region: register at
+                // the AIM (asynchronously; the core does not stall).
+                self.registrations.inc();
+                let t1 = sub
+                    .noc
+                    .send(me, bank, sub.cfg.noc.ctrl_bytes, MsgClass::Metadata, now);
+                let t2 = self.charge_aim(sub, line, t1);
+                exceptions = self.aim_check_record(sub, core, line, new_words, kind, t2);
+            }
+            return AccessResult { done, exceptions };
+        }
+
+        // Miss: request to the home bank.
+        let t1 = sub.noc.send(
+            me,
+            bank,
+            sub.cfg.noc.ctrl_bytes,
+            MsgClass::Request,
+            Cycles(now.0 + l1_lat),
+        );
+        sub.dir_access(); // classification lookup at the bank
+
+        // Classification update.
+        if kind == AccessType::Write {
+            self.written_ever.insert(line.0);
+        }
+        let cls = *self.class.entry(line.0).or_insert(Class::Private(core));
+        let mut t_ready = t1;
+        let is_shared = match cls {
+            Class::Private(owner) if owner != core => {
+                // Second core: recall, reclassify shared.
+                let t_aim = self.charge_aim(sub, line, t1);
+                let t_recall = self.recall(sub, owner, line, t1);
+                self.class.insert(line.0, Class::Shared);
+                t_ready = t_ready.max(t_aim).max(t_recall);
+                true
+            }
+            Class::Private(_) => false,
+            Class::Shared => {
+                let t_aim = self.charge_aim(sub, line, t1);
+                t_ready = t_ready.max(t_aim);
+                true
+            }
+        };
+        // Read-only hint: shared + never written.
+        let ro = is_shared && sub.cfg.arc_readonly_sharing && !self.written_ever.contains(&line.0);
+
+        // Conflict check + registration for shared lines (the
+        // registration rides the miss request).
+        let mut exceptions = Vec::new();
+        if is_shared {
+            self.registrations.inc();
+            exceptions = self.aim_check_record(sub, core, line, dmask, kind, t_ready);
+        }
+
+        // Data from the LLC (DRAM beneath it if needed).
+        let t_llc = sub.llc_data(line, t_ready);
+        let t_data = sub.noc.send(
+            bank,
+            me,
+            sub.cfg.noc.data_header_bytes + 64,
+            MsgClass::Data,
+            t_llc,
+        );
+
+        // Fill.
+        let mut st = ArcLine {
+            shared: is_shared,
+            ro: ro && kind == AccessType::Read,
+            dirty: WordMask::EMPTY,
+            read_words: WordMask::EMPTY,
+            written_words: WordMask::EMPTY,
+        };
+        match kind {
+            AccessType::Read => st.read_words = dmask,
+            AccessType::Write => {
+                st.written_words = dmask;
+                st.dirty = mask;
+            }
+        }
+        self.fill_line(sub, core, line, st, t_data);
+
+        AccessResult {
+            done: Cycles(t_data.0 + l1_lat),
+            exceptions,
+        }
+    }
+
+    fn region_boundary(&mut self, sub: &mut Substrate, core: CoreId, now: Cycles) -> AccessResult {
+        let me = sub.core_node(core);
+        let mut done = Cycles(now.0 + 10); // flash self-invalidate cost
+
+        // 1. Flush dirty words of shared lines (release semantics) and
+        //    collect the shared lines for self-invalidation.
+        let flushes: Vec<(LineAddr, WordMask)> = self.l1[core.index()]
+            .iter()
+            .filter(|(_, st)| st.shared && !st.dirty.is_empty())
+            .map(|(l, st)| (l, st.dirty))
+            .collect();
+        for (line, dirty) in &flushes {
+            self.flushed_words.add(dirty.count() as u64);
+            let bytes = sub.cfg.noc.data_header_bytes + 8 * dirty.count() as u64;
+            let wb = sub
+                .noc
+                .send(me, sub.bank_node(*line), bytes, MsgClass::Writeback, now);
+            let t = sub.llc_put(*line, wb);
+            done = done.max(t);
+            self.l1[core.index()]
+                .probe_mut(*line)
+                .expect("flushed line is resident")
+                .dirty = WordMask::EMPTY;
+        }
+
+        // 2. Clear AIM registrations (one signature message per line;
+        //    sorted for deterministic NoC contention).
+        let mut lines: Vec<u64> = self.touched[core.index()].drain().collect();
+        lines.sort_unstable();
+        for l in lines {
+            let line = LineAddr(l);
+            let t1 = sub.noc.send(
+                me,
+                sub.bank_node(line),
+                sub.cfg.signature_bytes_per_line.max(1),
+                MsgClass::Metadata,
+                now,
+            );
+            self.aim.clear_core(line, core);
+            done = done.max(Cycles(t1.0 + self.aim.latency));
+        }
+
+        // 3. Self-invalidate shared lines (read-only-classified lines
+        //    are exempt when the extension is on — `ro` is only ever
+        //    set in that mode); reset region masks on every surviving
+        //    line.
+        let dropped = self.l1[core.index()].drain_filter(|_, st| st.shared && !st.ro);
+        self.self_invalidated.add(dropped.len() as u64);
+        debug_assert!(
+            dropped.iter().all(|(_, st)| st.dirty.is_empty()),
+            "shared dirty words must have been flushed"
+        );
+        for (_, st) in self.l1[core.index()].iter_mut() {
+            if st.shared && st.ro {
+                self.ro_retained.inc();
+            }
+            st.read_words = WordMask::EMPTY;
+            st.written_words = WordMask::EMPTY;
+        }
+
+        AccessResult {
+            done,
+            exceptions: Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ARC"
+    }
+
+    fn l1_totals(&self) -> (u64, u64, u64) {
+        self.l1.iter().fold((0, 0, 0), |(h, m, e), c| {
+            (h + c.hits.get(), m + c.misses.get(), e + c.evictions.get())
+        })
+    }
+
+    fn aim_totals(&self) -> Option<(u64, u64, u64, u64)> {
+        Some(self.aim.totals())
+    }
+
+    fn extra_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("registrations", self.registrations.get()),
+            ("recalls", self.recalls.get()),
+            ("self_invalidated_lines", self.self_invalidated.get()),
+            ("ro_retained_lines", self.ro_retained.get()),
+            ("flushed_words", self.flushed_words.get()),
+            ("private_spills", self.private_spills.get()),
+            ("conflict_checks_hit", self.conflicts.get()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rce_common::ProtocolKind;
+
+    fn setup(cores: usize) -> (ArcEngine, Substrate) {
+        let cfg = MachineConfig::paper_default(cores, ProtocolKind::Arc);
+        (ArcEngine::new(&cfg), Substrate::new(&cfg))
+    }
+
+    const R: AccessType = AccessType::Read;
+    const W: AccessType = AccessType::Write;
+
+    fn acc(
+        e: &mut ArcEngine,
+        s: &mut Substrate,
+        core: u16,
+        addr: u64,
+        kind: AccessType,
+        now: u64,
+    ) -> AccessResult {
+        e.access(
+            s,
+            CoreId(core),
+            Addr(addr),
+            WordMask::span(Addr(addr), 8),
+            kind,
+            Cycles(now),
+        )
+    }
+
+    fn boundary(e: &mut ArcEngine, s: &mut Substrate, core: u16, now: u64) -> u64 {
+        let b = e.region_boundary(s, CoreId(core), Cycles(now));
+        s.advance_region(CoreId(core));
+        b.done.0
+    }
+
+    #[test]
+    fn private_lines_survive_boundaries() {
+        let (mut e, mut s) = setup(2);
+        let r = acc(&mut e, &mut s, 0, 0x1000, W, 0);
+        let t = boundary(&mut e, &mut s, 0, r.done.0);
+        // Still a hit: private data is exempt from self-invalidation.
+        let r2 = acc(&mut e, &mut s, 0, 0x1000, R, t);
+        assert_eq!(r2.done.0 - t, s.cfg.l1.latency);
+        e.check_invariants(&s).unwrap();
+    }
+
+    #[test]
+    fn shared_lines_self_invalidate() {
+        let (mut e, mut s) = setup(2);
+        let a = acc(&mut e, &mut s, 0, 0x1000, R, 0);
+        let b = acc(&mut e, &mut s, 1, 0x1000, R, a.done.0); // line becomes shared
+        let t0 = boundary(&mut e, &mut s, 0, b.done.0);
+        let r = acc(&mut e, &mut s, 0, 0x1000, R, t0);
+        assert!(
+            r.done.0 - t0 > s.cfg.l1.latency,
+            "shared line must re-fetch after the boundary"
+        );
+        assert!(e.self_invalidated.get() >= 1);
+        e.check_invariants(&s).unwrap();
+    }
+
+    #[test]
+    fn detects_write_write_conflict() {
+        let (mut e, mut s) = setup(2);
+        let w = acc(&mut e, &mut s, 0, 0x100, W, 0);
+        assert!(w.exceptions.is_empty());
+        let w2 = acc(&mut e, &mut s, 1, 0x100, W, w.done.0);
+        assert_eq!(w2.exceptions.len(), 1);
+        assert!(w2.exceptions[0].involves_write());
+        assert!(e.recalls.get() >= 1, "second toucher triggers a recall");
+    }
+
+    #[test]
+    fn detects_read_write_conflict_via_recall() {
+        let (mut e, mut s) = setup(2);
+        let r = acc(&mut e, &mut s, 0, 0x100, R, 0);
+        let w = acc(&mut e, &mut s, 1, 0x100, W, r.done.0);
+        assert_eq!(w.exceptions.len(), 1);
+        assert_eq!(w.exceptions[0].a.kind, R);
+    }
+
+    #[test]
+    fn boundary_ends_conflict_window() {
+        let (mut e, mut s) = setup(2);
+        let w = acc(&mut e, &mut s, 0, 0x100, W, 0);
+        let t = boundary(&mut e, &mut s, 0, w.done.0);
+        let w2 = acc(&mut e, &mut s, 1, 0x100, W, t);
+        assert!(w2.exceptions.is_empty(), "regions were not concurrent");
+    }
+
+    #[test]
+    fn word_granularity_false_sharing_ok() {
+        let (mut e, mut s) = setup(2);
+        let a = acc(&mut e, &mut s, 0, 0x100, W, 0);
+        let b = acc(&mut e, &mut s, 1, 0x108, W, a.done.0);
+        assert!(b.exceptions.is_empty());
+    }
+
+    #[test]
+    fn hit_path_registration_detects_late_conflict() {
+        let (mut e, mut s) = setup(2);
+        // Make the line shared via reads.
+        let a = acc(&mut e, &mut s, 0, 0x200, R, 0);
+        let b = acc(&mut e, &mut s, 1, 0x200, R, a.done.0);
+        // Core 0 hits (valid shared line) but writes a new word: the
+        // registration must catch the conflict with core 1's read.
+        let w = acc(&mut e, &mut s, 0, 0x200, W, b.done.0);
+        assert_eq!(w.exceptions.len(), 1);
+        assert_eq!(w.exceptions[0].key().1.kind, R);
+    }
+
+    #[test]
+    fn dirty_words_flush_at_boundary() {
+        let (mut e, mut s) = setup(2);
+        let a = acc(&mut e, &mut s, 0, 0x300, R, 0);
+        let b = acc(&mut e, &mut s, 1, 0x300, R, a.done.0);
+        let w = acc(&mut e, &mut s, 0, 0x300, W, b.done.0);
+        let before = e.flushed_words.get();
+        boundary(&mut e, &mut s, 0, w.done.0);
+        assert!(e.flushed_words.get() > before);
+        e.check_invariants(&s).unwrap();
+    }
+
+    #[test]
+    fn no_invalidation_traffic_ever() {
+        let (mut e, mut s) = setup(4);
+        let mut t = 0;
+        for i in 0..50u64 {
+            let r = acc(&mut e, &mut s, (i % 4) as u16, 0x400 + (i % 8) * 8, W, t);
+            t = r.done.0;
+            if i % 7 == 0 {
+                t = boundary(&mut e, &mut s, (i % 4) as u16, t);
+            }
+        }
+        let s_noc = s.noc.stats();
+        assert_eq!(
+            s_noc.invalidation_bytes().0,
+            0,
+            "ARC must not send invalidations or acks"
+        );
+    }
+
+    #[test]
+    fn readonly_lines_survive_boundaries_when_enabled() {
+        let mut cfg = MachineConfig::paper_default(2, ProtocolKind::Arc);
+        cfg.arc_readonly_sharing = true;
+        let mut e = ArcEngine::new(&cfg);
+        let mut s = Substrate::new(&cfg);
+        // Both cores read the line: shared, never written.
+        let a = acc(&mut e, &mut s, 0, 0x1000, R, 0);
+        let b = acc(&mut e, &mut s, 1, 0x1000, R, a.done.0);
+        let t = boundary(&mut e, &mut s, 0, b.done.0);
+        // Still a hit for core 0: read-only shared data is retained.
+        let r = acc(&mut e, &mut s, 0, 0x1000, R, t);
+        assert_eq!(r.done.0 - t, s.cfg.l1.latency, "retained ro line must hit");
+        assert!(e.ro_retained.get() >= 1);
+        e.check_invariants(&s).unwrap();
+    }
+
+    #[test]
+    fn written_lines_are_not_readonly() {
+        let mut cfg = MachineConfig::paper_default(2, ProtocolKind::Arc);
+        cfg.arc_readonly_sharing = true;
+        let mut e = ArcEngine::new(&cfg);
+        let mut s = Substrate::new(&cfg);
+        // Core 0 writes first: the line is written-ever, so core 1's
+        // fill is not read-only and self-invalidates at its boundary.
+        let w = acc(&mut e, &mut s, 0, 0x2000, W, 0);
+        let r = acc(&mut e, &mut s, 1, 0x2000, R, w.done.0);
+        let t = boundary(&mut e, &mut s, 1, r.done.0);
+        let r2 = acc(&mut e, &mut s, 1, 0x2000, R, t);
+        assert!(
+            r2.done.0 - t > s.cfg.l1.latency,
+            "written-ever shared data must still self-invalidate"
+        );
+    }
+
+    #[test]
+    fn readonly_retention_still_detects_conflicts() {
+        // The stale-hint case: a retained ro line is later written by
+        // another core; the retainer's next-region first read is a hit
+        // but must still register and detect the conflict.
+        let mut cfg = MachineConfig::paper_default(2, ProtocolKind::Arc);
+        cfg.arc_readonly_sharing = true;
+        let mut e = ArcEngine::new(&cfg);
+        let mut s = Substrate::new(&cfg);
+        let a = acc(&mut e, &mut s, 0, 0x3000, R, 0);
+        let b = acc(&mut e, &mut s, 1, 0x3000, R, a.done.0);
+        let t = boundary(&mut e, &mut s, 0, b.done.0);
+        // Core 1 writes the word (conflicts with nothing: core 0's
+        // old region ended... core 1's region is still its first).
+        let t1 = boundary(&mut e, &mut s, 1, t);
+        let w = acc(&mut e, &mut s, 1, 0x3000, W, t1);
+        assert!(w.exceptions.is_empty(), "no live opposing bits yet");
+        // Core 0's retained ro line: the hit-read must register and
+        // catch the conflict with core 1's live write.
+        let r = acc(&mut e, &mut s, 0, 0x3000, R, w.done.0);
+        assert_eq!(r.exceptions.len(), 1, "stale ro hit must still detect");
+        assert_eq!(r.exceptions[0].key().1.kind, W);
+    }
+
+    #[test]
+    fn line_granularity_flags_false_sharing() {
+        use rce_common::DetectionGranularity;
+        let mut cfg = MachineConfig::paper_default(2, ProtocolKind::Arc);
+        cfg.granularity = DetectionGranularity::Line;
+        let mut e = ArcEngine::new(&cfg);
+        let mut s = Substrate::new(&cfg);
+        // Distinct words of one line: a false-sharing "conflict" that
+        // word granularity ignores and line granularity reports.
+        let a = acc(&mut e, &mut s, 0, 0x100, W, 0);
+        let b = acc(&mut e, &mut s, 1, 0x108, W, a.done.0);
+        assert!(a.exceptions.is_empty());
+        assert!(!b.exceptions.is_empty(), "line granularity must flag this");
+    }
+
+    #[test]
+    fn eviction_of_private_line_spills_metadata() {
+        let (mut e, mut s) = setup(2);
+        let base = 0x10_0000u64;
+        let mut t = acc(&mut e, &mut s, 0, base, W, 0).done.0;
+        for i in 1..=8u64 {
+            t = acc(&mut e, &mut s, 0, base + i * 4096, R, t).done.0;
+        }
+        assert!(!e.l1[0].contains(Addr(base).line()));
+        assert!(e.private_spills.get() >= 1);
+        // The conflict is still caught.
+        let w = acc(&mut e, &mut s, 1, base, W, t);
+        assert_eq!(w.exceptions.len(), 1);
+    }
+}

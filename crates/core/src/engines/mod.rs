@@ -1,0 +1,57 @@
+//! The four architecture engines.
+//!
+//! [`MesiFamilyEngine`] implements the eager write-invalidation family
+//! (MESI baseline, CE, CE+ — one mechanism, three metadata backends);
+//! [`ArcEngine`] implements the release-consistency +
+//! self-invalidation design. See the crate docs for the design
+//! overview and DESIGN.md for the cost model.
+
+mod arc;
+mod mesi_family;
+
+pub use arc::ArcEngine;
+pub use mesi_family::MesiFamilyEngine;
+
+use crate::access::ConflictCheck;
+use crate::exception::{ConflictException, ConflictSide};
+use rce_common::{Cycles, LineAddr};
+
+/// Materialize per-word exceptions from a conflict check result.
+pub(crate) fn exceptions_from(
+    check: &ConflictCheck,
+    me: ConflictSide,
+    line: LineAddr,
+    at: Cycles,
+) -> Vec<ConflictException> {
+    let mut out = Vec::new();
+    for (side, words) in &check.conflicts {
+        for w in words.iter() {
+            out.push(ConflictException::new(me, *side, line.word_addr(w), at));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::MetaMap;
+    use crate::exception::AccessType;
+    use rce_common::{CoreId, RegionId, WordIdx, WordMask};
+
+    #[test]
+    fn exceptions_expand_per_word() {
+        let mut m = MetaMap::new();
+        m.record(CoreId(1), RegionId(4), AccessType::Write, WordMask(0b11));
+        let chk = m.check(CoreId(0), AccessType::Write, WordMask(0b11), |_, _| true);
+        let me = ConflictSide {
+            core: CoreId(0),
+            region: RegionId(9),
+            kind: AccessType::Write,
+        };
+        let ex = exceptions_from(&chk, me, LineAddr(2), Cycles(5));
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].word_addr, LineAddr(2).word_addr(WordIdx(0)));
+        assert_eq!(ex[1].word_addr, LineAddr(2).word_addr(WordIdx(1)));
+    }
+}

@@ -1,0 +1,481 @@
+//! The machine driver: runs a program through an engine.
+//!
+//! Cores execute their thread's operations in a deterministic
+//! event-driven interleaving: at every step the runnable core with the
+//! smallest local clock (ties broken by core ID) commits its next
+//! operation. Memory operations go through the engine (which charges
+//! NoC/LLC/DRAM time and may raise exceptions); synchronization
+//! operations first end the core's region (engine boundary work +
+//! region-clock advance + oracle clear) and then go through the
+//! functional lock/barrier managers. The oracle observes the identical
+//! committed stream, giving ground truth for differential testing.
+
+use crate::exception::{AccessType, ConflictException, ExceptionPolicy};
+use crate::oracle::Oracle;
+use crate::protocol::{Engine, Substrate};
+use crate::report::{AimSummary, SimReport};
+use crate::sync::{AcquireOutcome, BarrierManager, BarrierOutcome, LockManager};
+use rce_common::{CoreId, Cycles, MachineConfig, RceError, RceResult, WordMask};
+use rce_energy::{EnergyModel, EventCounts};
+use rce_trace::{Op, Program};
+use std::collections::HashSet;
+
+/// Per-core execution status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    BlockedLock,
+    BlockedBarrier,
+    Done,
+}
+
+/// The simulator.
+pub struct Machine {
+    cfg: MachineConfig,
+    energy_model: EnergyModel,
+}
+
+impl Machine {
+    /// Build for a validated configuration.
+    pub fn new(cfg: &MachineConfig) -> RceResult<Self> {
+        cfg.validate().map_err(RceError::InvalidConfig)?;
+        Ok(Machine {
+            cfg: cfg.clone(),
+            energy_model: EnergyModel::default(),
+        })
+    }
+
+    /// Override the energy model.
+    pub fn with_energy_model(mut self, m: EnergyModel) -> Self {
+        self.energy_model = m;
+        self
+    }
+
+    /// Run with the default count-and-continue policy.
+    pub fn run(&self, program: &Program) -> RceResult<SimReport> {
+        self.run_with_policy(program, ExceptionPolicy::CountAndContinue)
+    }
+
+    /// Run under an explicit exception policy.
+    pub fn run_with_policy(
+        &self,
+        program: &Program,
+        policy: ExceptionPolicy,
+    ) -> RceResult<SimReport> {
+        rce_trace::validate(program)?;
+        if program.n_threads() != self.cfg.cores {
+            return Err(RceError::MalformedProgram(format!(
+                "program has {} threads but the machine has {} cores",
+                program.n_threads(),
+                self.cfg.cores
+            )));
+        }
+
+        let mut engine = crate::engine_for(&self.cfg);
+        let mut sub = Substrate::new(&self.cfg);
+        let mut oracle = Oracle::new(&sub.regions);
+        let mut locks = LockManager::new(program.n_locks);
+        let mut barriers = BarrierManager::new(self.cfg.cores, program.n_barriers);
+
+        let n = self.cfg.cores;
+        let mut cursor = vec![0usize; n];
+        let mut clock = vec![Cycles::ZERO; n];
+        let mut status = vec![Status::Ready; n];
+
+        let mut mem_ops = 0u64;
+        let mut sync_ops = 0u64;
+        let mut regions = 0u64;
+        let mut access_latency = rce_common::Histogram::new();
+        let mut region_len = rce_common::Histogram::new();
+        let mut boundary_cost = rce_common::Histogram::new();
+        // Memory ops committed in each core's current region.
+        let mut region_ops = vec![0u64; n];
+        let mut per_core = vec![crate::report::CoreStats::default(); n];
+        let mut exceptions: Vec<ConflictException> = Vec::new();
+        let mut seen = HashSet::new();
+        let mut aborted = false;
+        // Debug aid: RCE_TRACE_WORD=<word-index> prints every access
+        // to that word.
+        let trace_word: Option<u64> = std::env::var("RCE_TRACE_WORD")
+            .ok()
+            .and_then(|w| w.parse().ok());
+
+        let limit = (program.total_ops() as u64 + 1) * 8 + 100_000;
+        let mut steps = 0u64;
+
+        // End the core's current region: engine boundary work, region
+        // clock advance, oracle clear, statistics.
+        #[allow(clippy::too_many_arguments)]
+        fn boundary(
+            engine: &mut Box<dyn Engine>,
+            sub: &mut Substrate,
+            oracle: &mut Oracle,
+            core: CoreId,
+            now: Cycles,
+            regions: &mut u64,
+            region_ops: &mut [u64],
+            region_len: &mut rce_common::Histogram,
+            boundary_cost: &mut rce_common::Histogram,
+        ) -> Cycles {
+            let b = engine.region_boundary(sub, core, now);
+            let new_region = sub.advance_region(core);
+            oracle.region_boundary(core, new_region);
+            *regions += 1;
+            let ops = std::mem::take(&mut region_ops[core.index()]);
+            if ops > 0 {
+                region_len.record(ops);
+            }
+            let done = b.done.max(now);
+            boundary_cost.record(done.0 - now.0);
+            done
+        }
+
+        'run: loop {
+            steps += 1;
+            if steps > limit {
+                return Err(RceError::LimitExceeded(format!(
+                    "simulation exceeded {limit} steps (livelock?)"
+                )));
+            }
+            // Pick the runnable core with the smallest clock.
+            let mut pick: Option<usize> = None;
+            for c in 0..n {
+                if status[c] == Status::Ready && pick.is_none_or(|p| clock[c] < clock[p]) {
+                    pick = Some(c);
+                }
+            }
+            let Some(c) = pick else {
+                if status.iter().all(|s| *s == Status::Done) {
+                    break 'run;
+                }
+                return Err(RceError::DriverProtocol(
+                    "all live cores are blocked (deadlock)".into(),
+                ));
+            };
+            let core = CoreId(c as u16);
+            let now = clock[c];
+
+            // Thread finished?
+            if cursor[c] >= program.threads[c].len() {
+                // Final region ends at thread end.
+                let done = boundary(
+                    &mut engine,
+                    &mut sub,
+                    &mut oracle,
+                    core,
+                    now,
+                    &mut regions,
+                    &mut region_ops,
+                    &mut region_len,
+                    &mut boundary_cost,
+                );
+                clock[c] = done;
+                status[c] = Status::Done;
+                per_core[c].finish = done;
+                continue;
+            }
+
+            let op = program.threads[c][cursor[c]];
+            cursor[c] += 1;
+            match op {
+                Op::Work { cycles } => {
+                    let scaled = (cycles as f64 * self.cfg.ipc_scale).round() as u64;
+                    clock[c] = Cycles(now.0 + scaled.max(1));
+                }
+                Op::Read { addr, len } | Op::Write { addr, len } => {
+                    let kind = if matches!(op, Op::Write { .. }) {
+                        AccessType::Write
+                    } else {
+                        AccessType::Read
+                    };
+                    mem_ops += 1;
+                    let mask = WordMask::span(addr, len as u64);
+                    let res = engine.access(&mut sub, core, addr, mask, kind, now);
+                    let dmask = self.cfg.detect_mask(mask);
+                    if trace_word == Some(addr.0 / 8) {
+                        eprintln!(
+                            "TRACE t={} {} {:?} word {} region {} -> ex={}",
+                            now.0,
+                            core,
+                            kind,
+                            addr.0 / 8,
+                            sub.region_of(core),
+                            res.exceptions.len()
+                        );
+                    }
+                    // Oracle sees the same committed access, word by
+                    // word, at the configured detection granularity.
+                    let line = addr.line();
+                    for w in dmask.iter() {
+                        let _ = oracle.observe(core, line.word_addr(w), kind, now);
+                    }
+                    for ex in res.exceptions {
+                        if seen.insert(ex.key()) {
+                            exceptions.push(ex);
+                            if policy == ExceptionPolicy::AbortOnFirst {
+                                clock[c] = res.done.max(Cycles(now.0 + 1));
+                                aborted = true;
+                                break 'run;
+                            }
+                        }
+                    }
+                    clock[c] = res.done.max(Cycles(now.0 + 1));
+                    access_latency.record(clock[c].0 - now.0);
+                    region_ops[c] += 1;
+                    per_core[c].mem_ops += 1;
+                }
+                Op::Acquire { lock } => {
+                    sync_ops += 1;
+                    per_core[c].sync_ops += 1;
+                    let done = boundary(
+                        &mut engine,
+                        &mut sub,
+                        &mut oracle,
+                        core,
+                        now,
+                        &mut regions,
+                        &mut region_ops,
+                        &mut region_len,
+                        &mut boundary_cost,
+                    );
+                    match locks.acquire(lock, core, done) {
+                        AcquireOutcome::Granted(t) => clock[c] = t,
+                        AcquireOutcome::Blocked => {
+                            clock[c] = done;
+                            status[c] = Status::BlockedLock;
+                        }
+                    }
+                }
+                Op::Release { lock } => {
+                    sync_ops += 1;
+                    per_core[c].sync_ops += 1;
+                    let done = boundary(
+                        &mut engine,
+                        &mut sub,
+                        &mut oracle,
+                        core,
+                        now,
+                        &mut regions,
+                        &mut region_ops,
+                        &mut region_len,
+                        &mut boundary_cost,
+                    );
+                    if let Some((next, t)) = locks.release(lock, core, done) {
+                        let ni = next.index();
+                        debug_assert_eq!(status[ni], Status::BlockedLock);
+                        status[ni] = Status::Ready;
+                        clock[ni] = clock[ni].max(t);
+                    }
+                    clock[c] = done;
+                }
+                Op::Barrier { bar } => {
+                    sync_ops += 1;
+                    per_core[c].sync_ops += 1;
+                    let done = boundary(
+                        &mut engine,
+                        &mut sub,
+                        &mut oracle,
+                        core,
+                        now,
+                        &mut regions,
+                        &mut region_ops,
+                        &mut region_len,
+                        &mut boundary_cost,
+                    );
+                    clock[c] = done;
+                    match barriers.arrive(bar, core, done) {
+                        BarrierOutcome::Blocked => status[c] = Status::BlockedBarrier,
+                        BarrierOutcome::Released(cores, t) => {
+                            for rc in cores {
+                                let ri = rc.index();
+                                status[ri] = Status::Ready;
+                                clock[ri] = clock[ri].max(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let end = clock.iter().copied().max().unwrap_or(Cycles::ZERO);
+        sub.noc.finalize(end);
+        sub.dram.finalize(end);
+
+        let (l1_hits, l1_misses, l1_evictions) = engine.l1_totals();
+        let aim = engine.aim_totals().map(|(a, h, m, s)| AimSummary {
+            accesses: a,
+            hits: h,
+            misses: m,
+            spills: s,
+        });
+        let counts = EventCounts {
+            l1_accesses: engine.l1_accesses(),
+            llc_accesses: sub.llc_accesses.get(),
+            aim_accesses: aim.map_or(0, |a| a.accesses),
+            dir_accesses: sub.dir_accesses.get(),
+            noc_flit_hops: sub.noc.stats().flit_hops.get(),
+            dram_bytes: sub.dram.total_bytes().0,
+            dram_accesses: sub.dram.stats().total_accesses(),
+            cycles: end.0,
+            cores: self.cfg.cores as u64,
+        };
+        let energy = self.energy_model.evaluate(&counts);
+
+        exceptions.sort();
+        Ok(SimReport {
+            protocol: self.cfg.protocol,
+            workload: program.name.clone(),
+            cores: self.cfg.cores,
+            cycles: end,
+            mem_ops,
+            sync_ops,
+            regions,
+            l1_hits,
+            l1_misses,
+            l1_evictions,
+            llc_hits: sub.llc.hits.get(),
+            llc_misses: sub.llc.misses.get(),
+            noc: sub.noc.stats().clone(),
+            dram: sub.dram.stats().clone(),
+            aim,
+            energy,
+            engine_counters: engine
+                .extra_counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            access_latency,
+            region_len,
+            boundary_cost,
+            per_core,
+            exceptions,
+            oracle_conflicts: oracle.conflicts(),
+            aborted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rce_common::ProtocolKind;
+    use rce_trace::WorkloadSpec;
+
+    fn run(w: WorkloadSpec, proto: ProtocolKind, cores: usize) -> SimReport {
+        let cfg = MachineConfig::paper_default(cores, proto);
+        let p = w.build(cores, 1, 42);
+        Machine::new(&cfg).unwrap().run(&p).unwrap()
+    }
+
+    #[test]
+    fn private_only_runs_clean_on_all_protocols() {
+        for proto in ProtocolKind::ALL {
+            let r = run(WorkloadSpec::PrivateOnly, proto, 4);
+            assert!(r.cycles.0 > 0, "{proto}");
+            assert!(r.exceptions.is_empty(), "{proto}");
+            assert!(r.oracle_conflicts.is_empty(), "{proto}");
+            assert!(r.mem_ops > 0);
+        }
+    }
+
+    #[test]
+    fn racy_pair_detected_by_all_detectors() {
+        for proto in ProtocolKind::DETECTORS {
+            let r = run(WorkloadSpec::RacyPair, proto, 4);
+            assert!(
+                !r.oracle_conflicts.is_empty(),
+                "{proto}: oracle saw nothing"
+            );
+            assert!(!r.exceptions.is_empty(), "{proto}: engine missed the race");
+            assert!(r.matches_oracle(), "{proto}: engine != oracle");
+        }
+    }
+
+    #[test]
+    fn baseline_never_raises() {
+        let r = run(WorkloadSpec::RacyPair, ProtocolKind::MesiBaseline, 4);
+        assert!(r.exceptions.is_empty());
+        assert!(!r.oracle_conflicts.is_empty(), "the race is still there");
+    }
+
+    #[test]
+    fn false_sharing_raises_nothing() {
+        for proto in ProtocolKind::DETECTORS {
+            let r = run(WorkloadSpec::FalseSharing, proto, 8);
+            assert!(
+                r.exceptions.is_empty(),
+                "{proto}: word granularity must not flag false sharing"
+            );
+            assert!(r.matches_oracle(), "{proto}");
+        }
+    }
+
+    #[test]
+    fn ping_pong_is_race_free() {
+        for proto in ProtocolKind::DETECTORS {
+            let r = run(WorkloadSpec::PingPong, proto, 4);
+            assert!(r.exceptions.is_empty(), "{proto}: lock-protected accesses");
+            assert!(r.matches_oracle(), "{proto}");
+        }
+    }
+
+    #[test]
+    fn abort_policy_stops_early() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::Ce);
+        let p = WorkloadSpec::RacyPair.build(4, 1, 42);
+        let m = Machine::new(&cfg).unwrap();
+        let r = m
+            .run_with_policy(&p, ExceptionPolicy::AbortOnFirst)
+            .unwrap();
+        assert!(r.aborted);
+        assert_eq!(r.exceptions.len(), 1);
+        let full = m.run(&p).unwrap();
+        assert!(full.mem_ops >= r.mem_ops);
+    }
+
+    #[test]
+    fn thread_count_mismatch_rejected() {
+        let cfg = MachineConfig::paper_default(8, ProtocolKind::MesiBaseline);
+        let p = WorkloadSpec::PingPong.build(4, 1, 1);
+        let err = Machine::new(&cfg).unwrap().run(&p).unwrap_err();
+        assert!(err.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::Ce);
+        let m = Machine::new(&cfg).unwrap();
+        let p = WorkloadSpec::Canneal.build(4, 1, 7);
+        let a = m.run(&p).unwrap();
+        let b = m.run(&p).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.exceptions, b.exceptions);
+        assert_eq!(a.noc.total_bytes(), b.noc.total_bytes());
+        assert_eq!(a.dram.total_bytes(), b.dram.total_bytes());
+    }
+
+    #[test]
+    fn reports_have_consistent_counts() {
+        let p = WorkloadSpec::Streamcluster.build(4, 1, 3);
+        let r = run(WorkloadSpec::Streamcluster, ProtocolKind::CePlus, 4);
+        assert_eq!(r.mem_ops as usize, p.total_mem_ops());
+        assert_eq!(r.sync_ops as usize, p.total_sync_ops());
+        assert_eq!(r.l1_hits + r.l1_misses, r.mem_ops);
+        assert!(r.energy_total().0 > 0.0);
+        assert!(r.aim.is_some());
+    }
+
+    #[test]
+    fn all_parsec_run_on_all_protocols_small() {
+        for w in [
+            WorkloadSpec::Blackscholes,
+            WorkloadSpec::Fluidanimate,
+            WorkloadSpec::Dedup,
+        ] {
+            for proto in ProtocolKind::ALL {
+                let r = run(w, proto, 4);
+                assert!(r.cycles.0 > 0, "{w} {proto}");
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The golden region-conflict detector.
+//!
+//! The oracle observes the committed access stream in the exact order
+//! the machine executes it and maintains, per core, the read/write
+//! word sets of the core's *current* region. An access conflicts iff
+//! it overlaps an opposing live set with at least one write — the
+//! definitional semantics of region conflict exceptions. Every engine
+//! must detect exactly the oracle's conflict set on the same schedule;
+//! the differential tests enforce this.
+//!
+//! The oracle is infrastructure, not architecture: it uses unbounded
+//! maps and charges no time.
+
+use crate::exception::{AccessType, ConflictException, ConflictSide};
+use rce_common::{Addr, CoreId, Cycles, RegionId};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Default, Clone)]
+struct CoreSets {
+    region: RegionId,
+    read: HashSet<u64>,
+    written: HashSet<u64>,
+}
+
+/// The shadow detector.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    cores: Vec<CoreSets>,
+    conflicts: HashSet<ConflictException>,
+}
+
+impl Oracle {
+    /// Build for `n` cores with their initial region IDs.
+    pub fn new(initial_regions: &[RegionId]) -> Self {
+        Oracle {
+            cores: initial_regions
+                .iter()
+                .map(|r| CoreSets {
+                    region: *r,
+                    ..Default::default()
+                })
+                .collect(),
+            conflicts: HashSet::new(),
+        }
+    }
+
+    /// Observe one committed word access. `word_addr` must be
+    /// word-aligned. Returns conflicts newly discovered by this access.
+    pub fn observe(
+        &mut self,
+        core: CoreId,
+        word_addr: Addr,
+        kind: AccessType,
+        now: Cycles,
+    ) -> Vec<ConflictException> {
+        debug_assert_eq!(word_addr.0 % 8, 0, "oracle expects word-aligned addresses");
+        let mut found = Vec::new();
+        let me = ConflictSide {
+            core,
+            region: self.cores[core.index()].region,
+            kind,
+        };
+        for (i, other) in self.cores.iter().enumerate() {
+            if i == core.index() {
+                continue;
+            }
+            // Set-intersection semantics: every overlapping kind pair
+            // with at least one write is its own conflict identity
+            // (see `MetaMap::check` for why both identities are
+            // emitted when the opponent both read and wrote).
+            let mut other_kinds = Vec::new();
+            if other.written.contains(&word_addr.0) {
+                other_kinds.push(AccessType::Write);
+            }
+            if kind == AccessType::Write && other.read.contains(&word_addr.0) {
+                other_kinds.push(AccessType::Read);
+            }
+            for ok in other_kinds {
+                let ex = ConflictException::new(
+                    me,
+                    ConflictSide {
+                        core: CoreId(i as u16),
+                        region: other.region,
+                        kind: ok,
+                    },
+                    word_addr,
+                    now,
+                );
+                if self.conflicts.insert(ex) {
+                    found.push(ex);
+                }
+            }
+        }
+        let sets = &mut self.cores[core.index()];
+        match kind {
+            AccessType::Read => {
+                sets.read.insert(word_addr.0);
+            }
+            AccessType::Write => {
+                sets.written.insert(word_addr.0);
+            }
+        }
+        found
+    }
+
+    /// The core's region ended; its sets clear and the new region
+    /// begins.
+    pub fn region_boundary(&mut self, core: CoreId, new_region: RegionId) {
+        let sets = &mut self.cores[core.index()];
+        sets.region = new_region;
+        sets.read.clear();
+        sets.written.clear();
+    }
+
+    /// All conflicts observed so far, sorted for deterministic
+    /// comparison.
+    pub fn conflicts(&self) -> Vec<ConflictException> {
+        let mut v: Vec<_> = self.conflicts.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of distinct conflicts.
+    pub fn count(&self) -> usize {
+        self.conflicts.len()
+    }
+
+    /// The set of conflict identities (for differential tests).
+    pub fn keys(&self) -> HashSet<(ConflictSide, ConflictSide, Addr)> {
+        self.conflicts.iter().map(|c| c.key()).collect()
+    }
+
+    /// Live word-set sizes per core (diagnostics).
+    pub fn live_set_sizes(&self) -> HashMap<CoreId, (usize, usize)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (CoreId(i as u16), (s.read.len(), s.written.len())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(n: usize) -> Oracle {
+        let regions: Vec<_> = (0..n as u64).map(RegionId).collect();
+        Oracle::new(&regions)
+    }
+
+    const W: AccessType = AccessType::Write;
+    const R: AccessType = AccessType::Read;
+
+    #[test]
+    fn write_write_conflict() {
+        let mut o = oracle(2);
+        assert!(o.observe(CoreId(0), Addr(8), W, Cycles(0)).is_empty());
+        let c = o.observe(CoreId(1), Addr(8), W, Cycles(1));
+        assert_eq!(c.len(), 1);
+        assert!(c[0].involves_write());
+        assert_eq!(o.count(), 1);
+    }
+
+    #[test]
+    fn read_write_conflict_both_orders() {
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), R, Cycles(0));
+        assert_eq!(o.observe(CoreId(1), Addr(8), W, Cycles(1)).len(), 1);
+
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), W, Cycles(0));
+        assert_eq!(o.observe(CoreId(1), Addr(8), R, Cycles(1)).len(), 1);
+    }
+
+    #[test]
+    fn read_read_no_conflict() {
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), R, Cycles(0));
+        assert!(o.observe(CoreId(1), Addr(8), R, Cycles(1)).is_empty());
+        assert_eq!(o.count(), 0);
+    }
+
+    #[test]
+    fn region_boundary_clears() {
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), W, Cycles(0));
+        o.region_boundary(CoreId(0), RegionId(100));
+        assert!(
+            o.observe(CoreId(1), Addr(8), W, Cycles(1)).is_empty(),
+            "regions no longer concurrent"
+        );
+    }
+
+    #[test]
+    fn duplicate_conflicts_dedup() {
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), W, Cycles(0));
+        assert_eq!(o.observe(CoreId(1), Addr(8), W, Cycles(1)).len(), 1);
+        // Repeat in the same regions: same identity.
+        assert!(o.observe(CoreId(1), Addr(8), W, Cycles(2)).is_empty());
+        assert_eq!(o.count(), 1);
+        // New region on core 1: new identity.
+        o.region_boundary(CoreId(1), RegionId(50));
+        assert_eq!(o.observe(CoreId(1), Addr(8), W, Cycles(3)).len(), 1);
+        assert_eq!(o.count(), 2);
+    }
+
+    #[test]
+    fn three_core_conflicts() {
+        let mut o = oracle(3);
+        o.observe(CoreId(0), Addr(16), W, Cycles(0));
+        o.observe(CoreId(1), Addr(16), R, Cycles(1)); // conflict 0-1
+        let c = o.observe(CoreId(2), Addr(16), W, Cycles(2)); // conflicts 2-0, 2-1
+        assert_eq!(c.len(), 2);
+        assert_eq!(o.count(), 3);
+    }
+
+    #[test]
+    fn different_words_independent() {
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), W, Cycles(0));
+        assert!(o.observe(CoreId(1), Addr(16), W, Cycles(1)).is_empty());
+    }
+
+    #[test]
+    fn write_then_read_same_core_then_remote_read() {
+        // Core 0 writes then reads a word; core 1's read conflicts
+        // with the *write* (the read side alone would be fine).
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), W, Cycles(0));
+        o.observe(CoreId(0), Addr(8), R, Cycles(1));
+        let c = o.observe(CoreId(1), Addr(8), R, Cycles(2));
+        assert_eq!(c.len(), 1);
+        assert!(c[0].involves_write());
+    }
+}

@@ -1,0 +1,286 @@
+//! The engine interface and the shared substrate.
+//!
+//! A [`Substrate`] bundles everything all four designs share: the NoC,
+//! the DRAM, the shared LLC + directory, the per-core region clocks,
+//! and the event counters the energy model consumes. An [`Engine`]
+//! implements one design's behavior for the three things designs
+//! differ on: memory accesses, region boundaries, and what state they
+//! attach to lines.
+
+use crate::exception::ConflictException;
+use rce_cache::{Directory, Llc};
+use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, RegionId, WordMask};
+use rce_dram::{AccessKind as DramKind, Dram};
+use rce_noc::{MsgClass, Noc, NodeId};
+
+/// Read or write, from the engine's perspective (alias of the
+/// exception-side type to avoid two vocabularies).
+pub use crate::exception::AccessType;
+
+/// The completion of one memory access.
+#[derive(Debug, Clone)]
+pub struct AccessResult {
+    /// When the access completes (the core stalls until then).
+    pub done: Cycles,
+    /// Conflicts detected while performing it.
+    pub exceptions: Vec<ConflictException>,
+}
+
+/// Everything shared between designs.
+pub struct Substrate {
+    /// Machine configuration.
+    pub cfg: MachineConfig,
+    /// On-chip network.
+    pub noc: Noc,
+    /// Off-chip memory.
+    pub dram: Dram,
+    /// Shared last-level cache.
+    pub llc: Llc,
+    /// Full-map directory.
+    pub dir: Directory,
+    /// Current region of each core. An access-bit entry is *live* iff
+    /// its region equals the owning core's current region.
+    pub regions: Vec<RegionId>,
+    /// LLC bank accesses (energy).
+    pub llc_accesses: Counter,
+    /// Directory accesses (energy).
+    pub dir_accesses: Counter,
+    next_region: u64,
+}
+
+impl Substrate {
+    /// Build from configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let mut s = Substrate {
+            cfg: cfg.clone(),
+            noc: Noc::new(cfg.cores, cfg.noc),
+            dram: Dram::new(cfg.dram),
+            llc: Llc::new(&cfg.llc),
+            dir: Directory::new(cfg.cores),
+            regions: Vec::with_capacity(cfg.cores),
+            llc_accesses: Counter::default(),
+            dir_accesses: Counter::default(),
+            next_region: 0,
+        };
+        for _ in 0..cfg.cores {
+            let r = s.fresh_region();
+            s.regions.push(r);
+        }
+        s
+    }
+
+    fn fresh_region(&mut self) -> RegionId {
+        let r = RegionId(self.next_region);
+        self.next_region += 1;
+        r
+    }
+
+    /// Current region of a core.
+    #[inline]
+    pub fn region_of(&self, c: CoreId) -> RegionId {
+        self.regions[c.index()]
+    }
+
+    /// End `c`'s region and start a fresh one; returns the new region.
+    pub fn advance_region(&mut self, c: CoreId) -> RegionId {
+        let r = self.fresh_region();
+        self.regions[c.index()] = r;
+        r
+    }
+
+    /// Liveness predicate for metadata entries: the entry's region is
+    /// its core's current region.
+    #[inline]
+    pub fn is_live(&self, core: CoreId, region: RegionId) -> bool {
+        self.regions[core.index()] == region
+    }
+
+    /// NoC node of a core.
+    #[inline]
+    pub fn core_node(&self, c: CoreId) -> NodeId {
+        self.noc.core_node(c)
+    }
+
+    /// NoC node of the LLC bank (and AIM slice) holding `line`.
+    #[inline]
+    pub fn bank_node(&self, line: LineAddr) -> NodeId {
+        self.noc.bank_node(line)
+    }
+
+    /// Access the LLC data array for `line` at `now` (the request is
+    /// already at the bank). On a miss the line is fetched from DRAM
+    /// and filled (evicting dirty victims to DRAM off the critical
+    /// path). Returns the time the data is ready at the bank.
+    pub fn llc_data(&mut self, line: LineAddr, now: Cycles) -> Cycles {
+        self.llc_accesses.inc();
+        let t = Cycles(now.0 + self.cfg.llc.latency);
+        if self.llc.access(line) {
+            return t;
+        }
+        // Miss: bank -> memory controller -> DRAM -> back.
+        let bank = self.bank_node(line);
+        let mem = self.noc.mem_node(line);
+        let req_at = self
+            .noc
+            .send(bank, mem, self.cfg.noc.ctrl_bytes, MsgClass::Request, t);
+        let dram_done = self.dram.access(line, 64, DramKind::DataRead, req_at);
+        let back = self.noc.send(
+            mem,
+            bank,
+            self.cfg.noc.data_header_bytes + 64,
+            MsgClass::Data,
+            dram_done,
+        );
+        if let Some((victim, state)) = self.llc.fill(line, false) {
+            if state.dirty {
+                // Victim writeback: traffic + DRAM time, but off the
+                // requester's critical path.
+                let vmem = self.noc.mem_node(victim);
+                let at = self.noc.send(
+                    self.bank_node(victim),
+                    vmem,
+                    self.cfg.noc.data_header_bytes + 64,
+                    MsgClass::Writeback,
+                    back,
+                );
+                let _ = self.dram.access(victim, 64, DramKind::DataWrite, at);
+            }
+        }
+        back
+    }
+
+    /// Write `bytes` of dirty data for `line` into the LLC at `now`
+    /// (the data is already at the bank). Marks the line dirty,
+    /// allocating it if absent (without a DRAM fetch: full-line or
+    /// partial writeback both overwrite).
+    pub fn llc_put(&mut self, line: LineAddr, now: Cycles) -> Cycles {
+        self.llc_accesses.inc();
+        if self.llc.contains(line) {
+            self.llc.mark_dirty(line);
+        } else if let Some((victim, state)) = self.llc.fill(line, true) {
+            if state.dirty {
+                let vmem = self.noc.mem_node(victim);
+                let at = self.noc.send(
+                    self.bank_node(victim),
+                    vmem,
+                    self.cfg.noc.data_header_bytes + 64,
+                    MsgClass::Writeback,
+                    now,
+                );
+                let _ = self.dram.access(victim, 64, DramKind::DataWrite, at);
+            }
+        }
+        Cycles(now.0 + self.cfg.llc.latency)
+    }
+
+    /// Charge a directory access.
+    #[inline]
+    pub fn dir_access(&mut self) {
+        self.dir_accesses.inc();
+    }
+}
+
+/// One conflict-detection design (or the baseline).
+pub trait Engine {
+    /// Perform a memory access of `len` bytes at `addr` by `core`,
+    /// starting at `now`. `mask` is the word span within the line.
+    fn access(
+        &mut self,
+        sub: &mut Substrate,
+        core: CoreId,
+        addr: Addr,
+        mask: WordMask,
+        kind: AccessType,
+        now: Cycles,
+    ) -> AccessResult;
+
+    /// The core reached a synchronization operation: finish its
+    /// current region (flush/scrub/self-invalidate per design) and
+    /// return when the boundary work completes, plus any conflicts
+    /// detected during boundary processing. The machine advances the
+    /// region clock *after* this returns.
+    fn region_boundary(&mut self, sub: &mut Substrate, core: CoreId, now: Cycles) -> AccessResult;
+
+    /// Engine display name.
+    fn name(&self) -> &'static str;
+
+    /// Aggregate L1 statistics: `(hits, misses, evictions)` summed
+    /// over cores.
+    fn l1_totals(&self) -> (u64, u64, u64);
+
+    /// Total L1 data-array accesses (for energy): hits + misses.
+    fn l1_accesses(&self) -> u64 {
+        let (h, m, _) = self.l1_totals();
+        h + m
+    }
+
+    /// AIM statistics if this design has one:
+    /// `(accesses, hits, misses, spills_to_dram)`.
+    fn aim_totals(&self) -> Option<(u64, u64, u64, u64)> {
+        None
+    }
+
+    /// Design-specific named counters for the report.
+    fn extra_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rce_common::ProtocolKind;
+
+    fn sub() -> Substrate {
+        Substrate::new(&MachineConfig::paper_default(4, ProtocolKind::MesiBaseline))
+    }
+
+    #[test]
+    fn region_clock_advances() {
+        let mut s = sub();
+        let r0 = s.region_of(CoreId(0));
+        let r1 = s.advance_region(CoreId(0));
+        assert_ne!(r0, r1);
+        assert!(s.is_live(CoreId(0), r1));
+        assert!(!s.is_live(CoreId(0), r0));
+        // Other cores unaffected.
+        assert!(s.is_live(CoreId(1), s.region_of(CoreId(1))));
+    }
+
+    #[test]
+    fn region_ids_globally_unique() {
+        let mut s = sub();
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..4u16 {
+            assert!(seen.insert(s.region_of(CoreId(c))));
+        }
+        for c in 0..4u16 {
+            assert!(seen.insert(s.advance_region(CoreId(c))));
+        }
+    }
+
+    #[test]
+    fn llc_data_miss_then_hit() {
+        let mut s = sub();
+        let line = LineAddr(100);
+        let t_miss = s.llc_data(line, Cycles(0));
+        assert!(t_miss.0 > s.cfg.llc.latency, "miss goes to DRAM");
+        let t0 = Cycles(100_000);
+        let t_hit = s.llc_data(line, t0);
+        assert_eq!(t_hit.0 - t0.0, s.cfg.llc.latency);
+        assert_eq!(s.llc_accesses.get(), 2);
+        assert!(s.dram.stats().total_accesses() >= 1);
+    }
+
+    #[test]
+    fn llc_put_marks_dirty() {
+        let mut s = sub();
+        let line = LineAddr(7);
+        s.llc_put(line, Cycles(0));
+        assert!(s.llc.contains(line));
+        // Putting again is a hit-path dirty mark.
+        let before = s.dram.stats().total_accesses();
+        s.llc_put(line, Cycles(10));
+        assert_eq!(s.dram.stats().total_accesses(), before);
+    }
+}

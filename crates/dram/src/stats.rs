@@ -1,0 +1,87 @@
+//! DRAM accounting.
+
+use crate::controller::AccessKind;
+use rce_common::{Bytes, Counter};
+use serde::{Deserialize, Serialize};
+
+/// Accumulated DRAM statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Access counts by kind (indexed by [`AccessKind::index`]).
+    pub accesses: [Counter; 4],
+    /// Bytes by kind.
+    pub bytes: [Bytes; 4],
+    /// Row-buffer hits.
+    pub row_hits: Counter,
+    /// Row-buffer misses.
+    pub row_misses: Counter,
+    /// Total cycles requests waited for busy channels/banks.
+    pub total_queue_delay: Counter,
+    /// Peak per-channel utilization (set by `finalize`).
+    pub peak_channel_utilization: f64,
+    /// Mean channel utilization.
+    pub mean_channel_utilization: f64,
+}
+
+impl DramStats {
+    pub(crate) fn record(&mut self, kind: AccessKind, bytes: u64, row_hit: bool, queue: u64) {
+        self.accesses[kind.index()].inc();
+        self.bytes[kind.index()] += Bytes(bytes);
+        if row_hit {
+            self.row_hits.inc();
+        } else {
+            self.row_misses.inc();
+        }
+        self.total_queue_delay.add(queue);
+    }
+
+    /// Total accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().map(|c| c.get()).sum()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> Bytes {
+        Bytes(self.bytes.iter().map(|b| b.0).sum())
+    }
+
+    /// Metadata bytes (the CE off-chip tax).
+    pub fn metadata_bytes(&self) -> Bytes {
+        Bytes(
+            self.bytes[AccessKind::MetaRead.index()].0
+                + self.bytes[AccessKind::MetaWrite.index()].0,
+        )
+    }
+
+    /// Row-buffer hit rate in [0, 1].
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits.get() + self.row_misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits.as_f64() / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut s = DramStats::default();
+        s.record(AccessKind::DataRead, 64, false, 0);
+        s.record(AccessKind::MetaWrite, 16, true, 5);
+        assert_eq!(s.total_accesses(), 2);
+        assert_eq!(s.total_bytes(), Bytes(80));
+        assert_eq!(s.metadata_bytes(), Bytes(16));
+        assert!((s.row_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_queue_delay.get(), 5);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Mesh topology and XY routing.
+
+use rce_common::{CoreId, LineAddr};
+use serde::{Deserialize, Serialize};
+
+/// A tile index in the mesh (row-major).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A `width × height` mesh of tiles, sized to hold one tile per core
+/// (near-square, width ≥ height).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+    mem_ctrls: Vec<NodeId>,
+}
+
+impl Mesh {
+    /// Build the smallest near-square mesh with at least `tiles` tiles.
+    /// Memory controllers are placed on up to four corner tiles.
+    pub fn for_tiles(tiles: usize) -> Self {
+        assert!(tiles >= 1);
+        let width = (tiles as f64).sqrt().ceil() as usize;
+        let height = tiles.div_ceil(width);
+        let mut mem_ctrls = vec![
+            NodeId(0),
+            NodeId(width - 1),
+            NodeId((height - 1) * width),
+            NodeId(height * width - 1),
+        ];
+        mem_ctrls.sort();
+        mem_ctrls.dedup();
+        Mesh {
+            width,
+            height,
+            mem_ctrls,
+        }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total tiles.
+    pub fn tiles(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// `(x, y)` coordinates of a tile.
+    pub fn coords(&self, n: NodeId) -> (usize, usize) {
+        debug_assert!(n.0 < self.tiles());
+        (n.0 % self.width, n.0 / self.width)
+    }
+
+    /// The tile hosting a core (identity mapping).
+    pub fn core_node(&self, c: CoreId) -> NodeId {
+        debug_assert!(c.index() < self.tiles());
+        NodeId(c.index())
+    }
+
+    /// The tile hosting the LLC bank for `line` (address-interleaved
+    /// across all tiles).
+    pub fn bank_node(&self, line: LineAddr, banks: usize) -> NodeId {
+        // Mix the line address so striding patterns spread across banks.
+        let h = line.0.wrapping_mul(0x9e3779b97f4a7c15) >> 32;
+        NodeId((h % banks as u64) as usize)
+    }
+
+    /// The memory-controller tile serving `line` (interleaved).
+    pub fn mem_node(&self, line: LineAddr) -> NodeId {
+        let h = line.0.wrapping_mul(0xd1b54a32d192ed03) >> 32;
+        self.mem_ctrls[(h % self.mem_ctrls.len() as u64) as usize]
+    }
+
+    /// All memory controller tiles.
+    pub fn mem_ctrls(&self) -> &[NodeId] {
+        &self.mem_ctrls
+    }
+
+    /// Manhattan hop count between two tiles.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The directed links of the XY route from `a` to `b`, as link
+    /// indices (see [`Mesh::link_count`]). X first, then Y.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<usize> {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut links = Vec::with_capacity(self.hops(a, b));
+        let (mut x, mut y) = (ax, ay);
+        while x != bx {
+            let nx = if bx > x { x + 1 } else { x - 1 };
+            links.push(self.link_index((x, y), (nx, y)));
+            x = nx;
+        }
+        while y != by {
+            let ny = if by > y { y + 1 } else { y - 1 };
+            links.push(self.link_index((x, y), (x, ny)));
+            y = ny;
+        }
+        links
+    }
+
+    /// Number of directed links (4 per tile, counting only existing
+    /// neighbors; we allocate the dense upper bound `tiles * 4` and
+    /// index by (tile, direction)).
+    pub fn link_count(&self) -> usize {
+        self.tiles() * 4
+    }
+
+    /// Dense index of the directed link from `from` to the adjacent
+    /// tile `to`.
+    fn link_index(&self, from: (usize, usize), to: (usize, usize)) -> usize {
+        let tile = from.1 * self.width + from.0;
+        let dir = if to.0 == from.0 + 1 {
+            0 // east
+        } else if from.0 == to.0 + 1 {
+            1 // west
+        } else if to.1 == from.1 + 1 {
+            2 // south
+        } else {
+            3 // north
+        };
+        tile * 4 + dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_dimensions() {
+        let m = Mesh::for_tiles(16);
+        assert_eq!((m.width(), m.height()), (4, 4));
+        let m = Mesh::for_tiles(8);
+        assert!(m.tiles() >= 8);
+        let m = Mesh::for_tiles(1);
+        assert_eq!(m.tiles(), 1);
+        assert_eq!(m.mem_ctrls().len(), 1);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::for_tiles(16);
+        assert_eq!(m.coords(NodeId(0)), (0, 0));
+        assert_eq!(m.coords(NodeId(5)), (1, 1));
+        assert_eq!(m.coords(NodeId(15)), (3, 3));
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = Mesh::for_tiles(16);
+        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.hops(NodeId(5), NodeId(10)), 2);
+    }
+
+    #[test]
+    fn route_length_equals_hops() {
+        let m = Mesh::for_tiles(16);
+        for a in 0..16 {
+            for b in 0..16 {
+                let r = m.route(NodeId(a), NodeId(b));
+                assert_eq!(r.len(), m.hops(NodeId(a), NodeId(b)));
+                assert!(r.iter().all(|&l| l < m.link_count()));
+            }
+        }
+    }
+
+    #[test]
+    fn route_links_are_distinct() {
+        let m = Mesh::for_tiles(16);
+        let r = m.route(NodeId(0), NodeId(15));
+        let set: std::collections::HashSet<_> = r.iter().collect();
+        assert_eq!(set.len(), r.len());
+    }
+
+    #[test]
+    fn four_mem_ctrls_on_corners() {
+        let m = Mesh::for_tiles(16);
+        assert_eq!(
+            m.mem_ctrls(),
+            &[NodeId(0), NodeId(3), NodeId(12), NodeId(15)]
+        );
+    }
+
+    #[test]
+    fn bank_interleaving_covers_banks() {
+        let m = Mesh::for_tiles(16);
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..4096u64 {
+            seen.insert(m.bank_node(LineAddr(l), 16));
+        }
+        assert_eq!(seen.len(), 16, "all banks should receive lines");
+    }
+
+    #[test]
+    fn mem_interleaving_uses_all_ctrls() {
+        let m = Mesh::for_tiles(16);
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..4096u64 {
+            seen.insert(m.mem_node(LineAddr(l)));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn core_nodes_are_identity() {
+        let m = Mesh::for_tiles(8);
+        assert_eq!(m.core_node(CoreId(3)), NodeId(3));
+    }
+}

@@ -1,0 +1,109 @@
+//! The per-thread operation alphabet.
+
+use rce_common::{Addr, BarrierId, LockId};
+use serde::{Deserialize, Serialize};
+
+/// One operation in a thread's trace.
+///
+/// Memory operations carry a byte address and length; the simulator
+/// splits them into the lines/words they touch. Synchronization
+/// operations (`Acquire`, `Release`, `Barrier`) are region boundaries.
+/// `Work` models local computation between memory operations; it
+/// advances the core's clock without touching memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Load `len` bytes at `addr`.
+    Read {
+        /// Byte address.
+        addr: Addr,
+        /// Access length in bytes (1..=64; may not cross a line).
+        len: u32,
+    },
+    /// Store `len` bytes at `addr`.
+    Write {
+        /// Byte address.
+        addr: Addr,
+        /// Access length in bytes (1..=64; may not cross a line).
+        len: u32,
+    },
+    /// Acquire a mutex (blocks until available). Region boundary.
+    Acquire {
+        /// Which lock.
+        lock: LockId,
+    },
+    /// Release a held mutex. Region boundary.
+    Release {
+        /// Which lock.
+        lock: LockId,
+    },
+    /// Global barrier: waits until every thread arrives. Region
+    /// boundary.
+    Barrier {
+        /// Which barrier object.
+        bar: BarrierId,
+    },
+    /// Local compute for `cycles` cycles; no memory traffic.
+    Work {
+        /// Duration in cycles.
+        cycles: u32,
+    },
+}
+
+impl Op {
+    /// True for `Read`/`Write`.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Op::Read { .. } | Op::Write { .. })
+    }
+
+    /// True for `Acquire`/`Release`/`Barrier` — the SFR boundaries.
+    #[inline]
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Op::Acquire { .. } | Op::Release { .. } | Op::Barrier { .. }
+        )
+    }
+
+    /// The address touched, if a memory operation.
+    #[inline]
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Op::Read { addr, .. } | Op::Write { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// True for writes.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        let r = Op::Read {
+            addr: Addr(8),
+            len: 8,
+        };
+        let w = Op::Write {
+            addr: Addr(16),
+            len: 8,
+        };
+        let a = Op::Acquire { lock: LockId(0) };
+        let b = Op::Barrier { bar: BarrierId(0) };
+        let k = Op::Work { cycles: 10 };
+        assert!(r.is_mem() && w.is_mem());
+        assert!(!a.is_mem() && !k.is_mem());
+        assert!(a.is_sync() && b.is_sync());
+        assert!(!r.is_sync() && !k.is_sync());
+        assert!(w.is_write() && !r.is_write());
+        assert_eq!(r.addr(), Some(Addr(8)));
+        assert_eq!(k.addr(), None);
+    }
+}

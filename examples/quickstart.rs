@@ -1,0 +1,51 @@
+//! Quickstart: simulate one workload on all four designs and print
+//! the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rce::prelude::*;
+
+fn main() {
+    let cores = 8;
+    // A synchronization-heavy PARSEC-like workload: per-cell locks,
+    // border sharing, short regions.
+    let program = WorkloadSpec::Fluidanimate.build(cores, 2, 42);
+    println!(
+        "workload: {} ({} threads, {} memory ops, {} sync ops)\n",
+        program.name,
+        program.n_threads(),
+        program.total_mem_ops(),
+        program.total_sync_ops()
+    );
+
+    println!(
+        "{:<6} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "design", "cycles", "L1 miss%", "NoC bytes", "DRAM bytes", "energy"
+    );
+    let mut baseline_cycles = None;
+    for proto in ProtocolKind::ALL {
+        let config = MachineConfig::paper_default(cores, proto);
+        let report = Machine::new(&config)
+            .expect("valid configuration")
+            .run(&program)
+            .expect("valid program");
+        if proto == ProtocolKind::MesiBaseline {
+            baseline_cycles = Some(report.cycles.0 as f64);
+        }
+        let rel = report.cycles.0 as f64 / baseline_cycles.unwrap();
+        println!(
+            "{:<6} {:>12} {:>9.1}% {:>12} {:>12} {:>10} ({rel:.3}x)",
+            proto.name(),
+            report.cycles.0,
+            report.l1_miss_rate() * 100.0,
+            report.noc_bytes().to_string(),
+            report.dram_bytes().to_string(),
+            report.energy_total().to_string(),
+        );
+    }
+
+    println!("\nThe workload is race-free, so no design raised an exception.");
+    println!("Try examples/race_detection.rs next.");
+}

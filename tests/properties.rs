@@ -1,0 +1,116 @@
+//! Property-based tests (proptest) over cross-crate invariants.
+
+use proptest::prelude::*;
+use rce::prelude::*;
+use rce_common::{LineGeometry, Rng as RceRng, SplitMix64};
+use rce_trace::Builder;
+
+/// Strategy: a small random program description.
+fn program_strategy() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..u64::MAX, 2usize..5, 4usize..24)
+}
+
+fn build_program(seed: u64, threads: usize, ops: usize) -> Program {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = Builder::new("prop", threads);
+    let arena = b.shared(8 * 64);
+    let bar = b.barrier();
+    for t in 0..threads {
+        for _ in 0..ops {
+            let w = arena.word(rng.gen_range(arena.words()));
+            match rng.gen_range(5) {
+                0 | 1 => b.read(t, w),
+                2 | 3 => b.write(t, w),
+                _ => {
+                    let l = b.lock();
+                    b.acquire(t, l);
+                    b.write(t, w);
+                    b.release(t, l);
+                }
+            }
+        }
+    }
+    b.barrier_all(bar);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated programs are always structurally valid.
+    #[test]
+    fn generated_programs_validate((seed, threads, ops) in program_strategy()) {
+        let p = build_program(seed, threads, ops);
+        prop_assert!(rce::trace::validate(&p).is_ok());
+    }
+
+    /// Every engine's exception set equals the oracle's, on arbitrary
+    /// programs.
+    #[test]
+    fn engines_equal_oracle((seed, threads, ops) in program_strategy()) {
+        let p = build_program(seed, threads, ops);
+        for proto in ProtocolKind::DETECTORS {
+            let cfg = MachineConfig::paper_default(threads, proto);
+            let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
+            prop_assert!(r.matches_oracle(), "{proto}: {} vs {}",
+                r.exceptions.len(), r.oracle_conflicts.len());
+        }
+    }
+
+    /// Simulations are deterministic functions of (program, config).
+    #[test]
+    fn simulation_deterministic((seed, threads, ops) in program_strategy()) {
+        let p = build_program(seed, threads, ops);
+        let cfg = MachineConfig::paper_default(threads, ProtocolKind::Arc);
+        let m = Machine::new(&cfg).unwrap();
+        let a = m.run(&p).unwrap();
+        let b = m.run(&p).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.exceptions, b.exceptions);
+    }
+
+    /// The baseline never raises exceptions, whatever the program.
+    #[test]
+    fn baseline_never_raises((seed, threads, ops) in program_strategy()) {
+        let p = build_program(seed, threads, ops);
+        let cfg = MachineConfig::paper_default(threads, ProtocolKind::MesiBaseline);
+        let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
+        prop_assert!(r.exceptions.is_empty());
+    }
+
+    /// Exceptions always involve a write, two distinct cores, and a
+    /// word inside the program's address space.
+    #[test]
+    fn exceptions_are_well_formed((seed, threads, ops) in program_strategy()) {
+        let p = build_program(seed, threads, ops);
+        let cfg = MachineConfig::paper_default(threads, ProtocolKind::Ce);
+        let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
+        for ex in &r.exceptions {
+            prop_assert!(ex.involves_write());
+            prop_assert!(ex.a.core < ex.b.core);
+            prop_assert_eq!(ex.word_addr.0 % LineGeometry::WORD_BYTES, 0);
+        }
+    }
+
+    /// Mask span arithmetic: the mask covers exactly the bytes of the
+    /// access.
+    #[test]
+    fn word_mask_span_covers_access(addr in 0u64..1_000_000, len in 1u64..64) {
+        let a = rce::common::Addr(addr);
+        let line_end = (a.line().0 + 1) << LineGeometry::LINE_SHIFT;
+        let len = len.min(line_end - addr);
+        let mask = rce::common::WordMask::span(a, len);
+        // First and last byte's words are covered.
+        prop_assert!(mask.contains(a.word()));
+        let last = rce::common::Addr(addr + len - 1);
+        prop_assert!(mask.contains(last.word()));
+        prop_assert!(mask.count() as u64 <= len / 8 + 2);
+    }
+
+    /// Workload generation is scale-monotone and deterministic.
+    #[test]
+    fn workloads_deterministic(seed in 0u64..1000) {
+        let w = WorkloadSpec::Dedup;
+        prop_assert_eq!(w.build(4, 1, seed), w.build(4, 1, seed));
+    }
+}
