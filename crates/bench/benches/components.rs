@@ -1,112 +1,96 @@
-//! Criterion microbenchmarks: individual substrate components.
+//! Microbenchmarks: individual substrate components.
+//!
+//! Each case times a batch of `OPS` operations, so the reported
+//! throughput is elements (operations) per second at the median.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rce_bench::Bencher;
 use rce_cache::SetAssoc;
 use rce_common::{Cycles, LineAddr, NocConfig, Rng, SplitMix64};
 use rce_core::{Aim, Oracle};
 use rce_dram::{AccessKind, Dram};
 use rce_noc::{MsgClass, Noc, NodeId};
 
-fn cache_array(c: &mut Criterion) {
-    let mut g = c.benchmark_group("set_assoc");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("hit_lookup", |b| {
-        let mut a: SetAssoc<u64> = SetAssoc::new(64, 8);
-        for k in 0..512u64 {
-            a.insert(k, k);
+const OPS: u64 = 100_000;
+
+fn main() {
+    let mut b = Bencher::group("components");
+
+    let mut a: SetAssoc<u64> = SetAssoc::new(64, 8);
+    for k in 0..512u64 {
+        a.insert(k, k);
+    }
+    b.case("set_assoc/hit_lookup", Some(OPS), move || {
+        let mut acc = 0u64;
+        for i in 0..OPS {
+            if a.get_mut(i % 512).is_some() {
+                acc += 1;
+            }
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 512;
-            std::hint::black_box(a.get_mut(i));
-        });
+        acc
     });
-    g.bench_function("insert_evict", |b| {
-        let mut a: SetAssoc<u64> = SetAssoc::new(64, 8);
-        let mut k = 0u64;
-        b.iter(|| {
+
+    let mut a: SetAssoc<u64> = SetAssoc::new(64, 8);
+    let mut k = 0u64;
+    b.case("set_assoc/insert_evict", Some(OPS), move || {
+        for _ in 0..OPS {
             k += 1;
             if !a.contains(k) {
-                std::hint::black_box(a.insert(k, k));
+                a.insert(k, k);
             }
-        });
+        }
+        k
     });
-    g.finish();
-}
 
-fn noc_send(c: &mut Criterion) {
-    let mut g = c.benchmark_group("noc");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("send_cross_mesh", |b| {
-        let mut n = Noc::new(64, NocConfig::default());
-        let mut t = 0u64;
-        b.iter(|| {
+    let mut n = Noc::new(64, NocConfig::default());
+    let mut t = 0u64;
+    b.case("noc/send_cross_mesh", Some(OPS), move || {
+        let mut last = Cycles(0);
+        for _ in 0..OPS {
             t += 4;
-            std::hint::black_box(n.send(NodeId(0), NodeId(63), 72, MsgClass::Data, Cycles(t)));
-        });
+            last = n.send(NodeId(0), NodeId(63), 72, MsgClass::Data, Cycles(t));
+        }
+        last
     });
-    g.finish();
-}
 
-fn dram_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("access", |b| {
-        let mut d = Dram::new(Default::default());
-        let mut rng = SplitMix64::new(1);
-        let mut t = 0u64;
-        b.iter(|| {
+    let mut d = Dram::new(Default::default());
+    let mut rng = SplitMix64::new(1);
+    let mut t = 0u64;
+    b.case("dram/access", Some(OPS), move || {
+        let mut last = Cycles(0);
+        for _ in 0..OPS {
             t += 10;
             let line = LineAddr(rng.gen_range(1 << 20));
-            std::hint::black_box(d.access(line, 64, AccessKind::DataRead, Cycles(t)));
-        });
+            last = d.access(line, 64, AccessKind::DataRead, Cycles(t));
+        }
+        last
     });
-    g.finish();
-}
 
-fn aim_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("aim");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("ensure", |b| {
-        let mut aim = Aim::new(&Default::default());
-        let mut rng = SplitMix64::new(2);
-        b.iter(|| {
+    let mut aim = Aim::new(&Default::default());
+    let mut rng = SplitMix64::new(2);
+    b.case("aim/ensure", Some(OPS), move || {
+        for _ in 0..OPS {
             let line = LineAddr(rng.gen_range(1 << 16));
-            std::hint::black_box(aim.ensure(line));
-        });
+            aim.ensure(line);
+        }
     });
-    g.finish();
-}
 
-fn oracle_observe(c: &mut Criterion) {
-    use rce_common::{Addr, CoreId, RegionId};
-    use rce_core::AccessType;
-    let mut g = c.benchmark_group("oracle");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("observe", |b| {
+    {
+        use rce_common::{Addr, CoreId, RegionId};
+        use rce_core::AccessType;
         let regions: Vec<RegionId> = (0..8).map(RegionId).collect();
         let mut o = Oracle::new(&regions);
         let mut rng = SplitMix64::new(3);
-        b.iter(|| {
-            let core = CoreId(rng.gen_range(8) as u16);
-            let addr = Addr(rng.gen_range(1 << 14) * 8);
-            let kind = if rng.gen_bool(0.3) {
-                AccessType::Write
-            } else {
-                AccessType::Read
-            };
-            std::hint::black_box(o.observe(core, addr, kind, Cycles(0)));
+        b.case("oracle/observe", Some(OPS), move || {
+            for _ in 0..OPS {
+                let core = CoreId(rng.gen_range(8) as u16);
+                let addr = Addr(rng.gen_range(1 << 14) * 8);
+                let kind = if rng.gen_bool(0.3) {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                };
+                o.observe(core, addr, kind, Cycles(0));
+            }
         });
-    });
-    g.finish();
+    }
 }
-
-criterion_group!(
-    benches,
-    cache_array,
-    noc_send,
-    dram_access,
-    aim_ops,
-    oracle_observe
-);
-criterion_main!(benches);

@@ -1,33 +1,26 @@
-//! Criterion microbenchmarks: simulator throughput per engine.
+//! Microbenchmarks: simulator throughput per engine.
 //!
 //! Measures how fast each design simulates a fixed workload — the
 //! harness-side figure of merit (simulated events per wall-clock
 //! second), not a claim about the simulated machines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rce_bench::Bencher;
 use rce_common::{MachineConfig, ProtocolKind};
 use rce_core::Machine;
 use rce_trace::WorkloadSpec;
 
-fn engine_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_throughput");
+fn main() {
     let cores = 8;
-    let workload = WorkloadSpec::Fluidanimate;
-    let program = workload.build(cores, 1, 42);
-    g.throughput(Throughput::Elements(program.total_ops() as u64));
+    let program = WorkloadSpec::Fluidanimate.build(cores, 1, 42);
+    let ops = program.total_ops() as u64;
+    let mut g = Bencher::group("engine_throughput");
     for proto in ProtocolKind::ALL {
         let cfg = MachineConfig::paper_default(cores, proto);
         let m = Machine::new(&cfg).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(proto.name()), &m, |b, m| {
-            b.iter(|| m.run(&program).unwrap());
-        });
+        g.case(proto.name(), Some(ops), || m.run(&program).unwrap());
     }
-    g.finish();
-}
 
-fn engine_by_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ce_by_workload");
-    let cores = 8;
+    let mut g = Bencher::group("ce_by_workload");
     for w in [
         WorkloadSpec::Swaptions,
         WorkloadSpec::Canneal,
@@ -36,13 +29,8 @@ fn engine_by_workload(c: &mut Criterion) {
         let program = w.build(cores, 1, 42);
         let cfg = MachineConfig::paper_default(cores, ProtocolKind::Ce);
         let m = Machine::new(&cfg).unwrap();
-        g.throughput(Throughput::Elements(program.total_ops() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &m, |b, m| {
-            b.iter(|| m.run(&program).unwrap());
+        g.case(w.name(), Some(program.total_ops() as u64), || {
+            m.run(&program).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, engine_throughput, engine_by_workload);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion microbenchmarks: workload generation throughput.
+//! Microbenchmarks: workload generation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rce_bench::Bencher;
 use rce_trace::WorkloadSpec;
 
-fn generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_generation");
+fn main() {
+    let mut g = Bencher::group("trace_generation");
     for w in [
         WorkloadSpec::Blackscholes,
         WorkloadSpec::Canneal,
@@ -13,23 +13,12 @@ fn generation(c: &mut Criterion) {
         WorkloadSpec::X264,
     ] {
         let ops = w.build(8, 1, 42).total_ops() as u64;
-        g.throughput(Throughput::Elements(ops));
-        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
-            b.iter(|| w.build(8, 1, 42));
-        });
+        g.case(w.name(), Some(ops), move || w.build(8, 1, 42));
     }
-    g.finish();
-}
 
-fn characterization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("characterize");
+    let mut g = Bencher::group("characterize");
     let p = WorkloadSpec::Streamcluster.build(8, 2, 42);
-    g.throughput(Throughput::Elements(p.total_ops() as u64));
-    g.bench_function("streamcluster", |b| {
-        b.iter(|| rce_trace::characterize(&p));
+    g.case("streamcluster", Some(p.total_ops() as u64), || {
+        rce_trace::characterize(&p)
     });
-    g.finish();
 }
-
-criterion_group!(benches, generation, characterization);
-criterion_main!(benches);

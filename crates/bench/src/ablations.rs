@@ -7,9 +7,8 @@
 
 use crate::figures::FigureOutput;
 use crate::runner::{run_one, run_one_cfg, EvalParams};
-use rce_common::{table::Table, DetectionGranularity, MachineConfig, ProtocolKind};
+use rce_common::{json, table::Table, DetectionGranularity, MachineConfig, ProtocolKind};
 use rce_trace::WorkloadSpec;
-use serde_json::json;
 
 /// The ablation catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,139 @@
+//! Minimal in-tree timing harness (the criterion replacement).
+//!
+//! Each case runs a closure a fixed number of times after a short
+//! warm-up and reports min / median / p90 wall time, plus throughput
+//! when the caller supplies an element count. No statistics beyond
+//! order statistics: medians are robust to scheduler noise, and the
+//! harness has zero dependencies.
+//!
+//! Sample count is tunable with `RCE_BENCH_SAMPLES` (default 10).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default measured samples per case.
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// Warm-up iterations before measuring.
+pub const WARMUP_ITERS: usize = 2;
+
+/// Timing summary for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Case name (group/id).
+    pub name: String,
+    /// Measured samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// 90th-percentile sample.
+    pub p90: Duration,
+    /// Elements per second at the median, if an element count was
+    /// given.
+    pub throughput: Option<f64>,
+}
+
+impl BenchResult {
+    /// One aligned report line.
+    pub fn render(&self) -> String {
+        let tp = match self.throughput {
+            Some(t) => format!("  {:>12.0} elem/s", t),
+            None => String::new(),
+        };
+        format!(
+            "{:<40} min {:>10.3?}  median {:>10.3?}  p90 {:>10.3?}{tp}",
+            self.name, self.min, self.median, self.p90
+        )
+    }
+}
+
+/// A named group of benchmark cases (mirrors criterion's group/case
+/// naming so existing bench targets keep their output shape).
+pub struct Bencher {
+    group: String,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Bencher {
+    /// Start a group. Sample count comes from `RCE_BENCH_SAMPLES` or
+    /// [`DEFAULT_SAMPLES`].
+    pub fn group(name: &str) -> Self {
+        let samples = std::env::var("RCE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_SAMPLES);
+        println!("== {name} ({samples} samples) ==");
+        Bencher {
+            group: name.to_string(),
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, discarding [`WARMUP_ITERS`] warm-up runs, and print
+    /// the case line. `elements` enables a throughput column.
+    pub fn case<R>(&mut self, id: &str, elements: Option<u64>, mut f: impl FnMut() -> R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let p90 = times[(times.len() * 9 / 10).min(times.len() - 1)];
+        let r = BenchResult {
+            name: format!("{}/{id}", self.group),
+            samples: self.samples,
+            min: times[0],
+            median,
+            p90,
+            throughput: elements
+                .filter(|_| median > Duration::ZERO)
+                .map(|n| n as f64 / median.as_secs_f64()),
+        };
+        println!("{}", r.render());
+        self.results.push(r);
+    }
+
+    /// All results so far (tests use this; the binaries just print).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered_and_throughput_positive() {
+        let mut b = Bencher::group("test");
+        b.case("spin", Some(1000), || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let r = &b.results()[0];
+        assert!(r.min <= r.median && r.median <= r.p90);
+        assert!(r.throughput.unwrap() > 0.0);
+        assert_eq!(r.samples, DEFAULT_SAMPLES);
+        assert!(r.render().contains("test/spin"));
+    }
+
+    #[test]
+    fn zero_elements_mean_no_throughput() {
+        let mut b = Bencher::group("test2");
+        b.case("noop", None, || 1 + 1);
+        assert!(b.results()[0].throughput.is_none());
+    }
+}

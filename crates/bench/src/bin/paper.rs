@@ -11,6 +11,7 @@
 //! rows to `results/<id>.json` (used by EXPERIMENTS.md).
 
 use rce_bench::{figures::base_sweep, Ablation, EvalParams, Experiment};
+use rce_common::json;
 use std::io::Write;
 
 fn usage() -> ! {
@@ -155,7 +156,7 @@ fn main() {
 fn write_result(out_dir: &str, fig: &rce_bench::FigureOutput, params: &EvalParams) {
     let path = format!("{out_dir}/{}.json", fig.id);
     let mut f = std::fs::File::create(&path).expect("write results file");
-    let payload = serde_json::json!({
+    let payload = json!({
         "id": fig.id,
         "title": fig.title,
         "cores": params.cores,
@@ -163,7 +164,7 @@ fn write_result(out_dir: &str, fig: &rce_bench::FigureOutput, params: &EvalParam
         "seed": params.seed,
         "data": fig.json,
     });
-    writeln!(f, "{}", serde_json::to_string_pretty(&payload).unwrap()).unwrap();
+    writeln!(f, "{}", json::to_string_pretty(&payload)).unwrap();
     eprintln!("   wrote {path}");
 }
 

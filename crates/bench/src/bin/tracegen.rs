@@ -13,7 +13,7 @@
 //! replaying externally-produced traces through the engines: any tool
 //! that emits the same JSON shape can drive the simulator.
 
-use rce_common::{MachineConfig, ProtocolKind};
+use rce_common::{json, MachineConfig, ProtocolKind};
 use rce_core::Machine;
 use rce_trace::{characterize, inject_races, Program, WorkloadSpec};
 
@@ -121,8 +121,7 @@ fn main() {
             let o = parse_opts(&args[2..]);
             let p = build(&args[1], &o);
             let out = o.out.clone().unwrap_or_else(|| format!("{}.json", p.name));
-            std::fs::write(&out, serde_json::to_string(&p).expect("serialize"))
-                .expect("write trace file");
+            std::fs::write(&out, json::to_string(&p)).expect("write trace file");
             eprintln!(
                 "wrote {out}: {} threads, {} ops",
                 p.n_threads(),
@@ -135,7 +134,7 @@ fn main() {
             }
             let o = parse_opts(&args[2..]);
             let text = std::fs::read_to_string(&args[1]).expect("read trace file");
-            let p: Program = serde_json::from_str(&text).expect("parse trace file");
+            let p: Program = json::from_str(&text).expect("parse trace file");
             rce_trace::validate(&p).expect("trace must be structurally valid");
             let cfg = MachineConfig::paper_default(p.n_threads(), o.protocol);
             let r = Machine::new(&cfg).expect("config").run(&p).expect("run");

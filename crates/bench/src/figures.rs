@@ -1,11 +1,12 @@
 //! Experiment implementations: one function per reconstructed table
 //! or figure (see DESIGN.md for the experiment index).
 
-use crate::runner::{run_one, run_one_cfg, run_suite, EvalParams, RunKey};
+use crate::runner::{run_one, run_one_cfg, run_suite, EvalParams, RunKey, SweepResults};
+use rce_common::json;
+use rce_common::json::JsonValue as Value;
 use rce_common::{geomean, table::Table, MachineConfig, ProtocolKind};
 use rce_core::SimReport;
 use rce_trace::{characterize, inject_races, WorkloadSpec};
-use serde_json::{json, Value};
 use std::collections::HashMap;
 
 /// A rendered experiment: the text table plus machine-readable rows.
@@ -89,11 +90,7 @@ impl Experiment {
     /// Run the experiment. `sweep` is an optional pre-computed base
     /// sweep (all PARSEC workloads × all protocols at `params.cores`),
     /// reused by the four per-workload figures.
-    pub fn run(
-        self,
-        params: &EvalParams,
-        sweep: Option<&HashMap<RunKey, SimReport>>,
-    ) -> FigureOutput {
+    pub fn run(self, params: &EvalParams, sweep: Option<&SweepResults>) -> FigureOutput {
         match self {
             Experiment::Table1 => table1(params),
             Experiment::Table2 => table2(params),
@@ -127,7 +124,7 @@ impl Experiment {
 }
 
 /// The base sweep every per-workload figure consumes.
-pub fn base_sweep(params: &EvalParams) -> HashMap<RunKey, SimReport> {
+pub fn base_sweep(params: &EvalParams) -> SweepResults {
     run_suite(
         &WorkloadSpec::PARSEC,
         &ProtocolKind::ALL,
@@ -136,12 +133,7 @@ pub fn base_sweep(params: &EvalParams) -> HashMap<RunKey, SimReport> {
     )
 }
 
-fn get(
-    sweep: &HashMap<RunKey, SimReport>,
-    w: WorkloadSpec,
-    p: ProtocolKind,
-    cores: usize,
-) -> &SimReport {
+fn get(sweep: &SweepResults, w: WorkloadSpec, p: ProtocolKind, cores: usize) -> &SimReport {
     sweep
         .get(&RunKey {
             workload: w,
@@ -252,7 +244,7 @@ fn table2(params: &EvalParams) -> FigureOutput {
             format!("{:.1}", c.shared_access_frac * 100.0),
             format!("{:.1}", c.write_frac * 100.0),
         ]);
-        rows.push(serde_json::to_value(&c).expect("serializable"));
+        rows.push(json::to_value(&c));
     }
     FigureOutput {
         id: "R-T2",
@@ -265,7 +257,7 @@ fn table2(params: &EvalParams) -> FigureOutput {
 /// Shared scaffolding for the four normalized-metric figures.
 fn normalized_figure(
     params: &EvalParams,
-    sweep: &HashMap<RunKey, SimReport>,
+    sweep: &SweepResults,
     id: &'static str,
     title: &'static str,
     metric_name: &str,
@@ -309,14 +301,14 @@ fn normalized_figure(
 }
 
 /// R-F1: normalized run time.
-fn fig_runtime(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+fn fig_runtime(params: &EvalParams, sweep: &SweepResults) -> FigureOutput {
     normalized_figure(params, sweep, "R-F1", "Run time", "runtime", |r| {
         r.cycles.0 as f64
     })
 }
 
 /// R-F2: normalized energy, with component breakdown per design.
-fn fig_energy(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+fn fig_energy(params: &EvalParams, sweep: &SweepResults) -> FigureOutput {
     let mut out = normalized_figure(params, sweep, "R-F2", "Energy", "energy", |r| {
         r.energy_total().0
     });
@@ -356,7 +348,7 @@ fn fig_energy(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> Figure
 
 /// R-F3: normalized on-chip traffic, plus the metadata/invalidation
 /// decomposition that explains it.
-fn fig_noc(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+fn fig_noc(params: &EvalParams, sweep: &SweepResults) -> FigureOutput {
     let mut out = normalized_figure(
         params,
         sweep,
@@ -400,7 +392,7 @@ fn fig_noc(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOut
 }
 
 /// R-F4: normalized off-chip traffic, with the metadata share.
-fn fig_dram(params: &EvalParams, sweep: &HashMap<RunKey, SimReport>) -> FigureOutput {
+fn fig_dram(params: &EvalParams, sweep: &SweepResults) -> FigureOutput {
     let mut out = normalized_figure(
         params,
         sweep,
@@ -781,6 +773,29 @@ mod tests {
     }
 
     #[test]
+    fn figure_json_payload_parse_roundtrip() {
+        // The `paper` binary writes results/<id>.json in exactly this
+        // shape; assert the emitted text parses back to the same value.
+        let f = Experiment::Table2.run(&tiny_params(), None);
+        let payload = json!({
+            "id": f.id,
+            "title": f.title,
+            "cores": 4,
+            "scale": 1,
+            "seed": 1,
+            "data": f.json,
+        });
+        let text = json::to_string_pretty(&payload);
+        let back = Value::parse(&text).expect("emitted JSON must parse");
+        assert_eq!(back, payload);
+        assert_eq!(back["id"], f.id);
+        assert_eq!(back["data"].as_array().unwrap().len(), 13);
+        // Compact form round-trips too.
+        let compact = json::to_string(&payload);
+        assert_eq!(Value::parse(&compact).unwrap(), payload);
+    }
+
+    #[test]
     fn experiment_names_roundtrip() {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(e.name()), Some(e));
@@ -796,7 +811,7 @@ mod tests {
         for r in rows {
             assert_eq!(
                 r["all_match"],
-                serde_json::json!(true),
+                json!(true),
                 "engine/oracle mismatch in {}",
                 r["workload"]
             );

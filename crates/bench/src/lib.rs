@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bencher;
 pub mod figures;
 pub mod runner;
 pub mod summary;
 
 pub use ablations::Ablation;
+pub use bencher::Bencher;
 pub use figures::{Experiment, FigureOutput};
-pub use runner::{run_one, run_suite, EvalParams, RunKey};
+pub use runner::{run_one, run_suite, EvalParams, RunKey, SweepResults};

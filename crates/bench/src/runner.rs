@@ -1,10 +1,15 @@
 //! Parallel sweep execution.
+//!
+//! Built on `std::thread::scope` and `std::sync::Mutex` only: workers
+//! claim work-queue indices through a shared counter (FIFO), and each
+//! finished report lands in its key's pre-assigned slot, so the
+//! returned [`SweepResults`] is always in cross-product order no
+//! matter how the OS schedules the workers.
 
-use parking_lot::Mutex;
 use rce_common::{MachineConfig, ProtocolKind};
 use rce_core::{Machine, SimReport};
 use rce_trace::WorkloadSpec;
-use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Evaluation parameters shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +46,62 @@ pub struct RunKey {
     pub cores: usize,
 }
 
+/// Sweep reports in deterministic cross-product order
+/// (workload-major, then protocol, then core count) — the order
+/// [`run_suite`] enqueued them.
+#[derive(Debug, Clone, Default)]
+pub struct SweepResults {
+    entries: Vec<(RunKey, SimReport)>,
+}
+
+impl SweepResults {
+    /// The report for `key`, if the sweep ran it.
+    pub fn get(&self, key: &RunKey) -> Option<&SimReport> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, r)| r)
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys in sweep order.
+    pub fn keys(&self) -> impl Iterator<Item = &RunKey> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Reports in sweep order.
+    pub fn values(&self) -> impl Iterator<Item = &SimReport> {
+        self.entries.iter().map(|(_, r)| r)
+    }
+
+    /// `(key, report)` pairs in sweep order.
+    pub fn iter(&self) -> impl Iterator<Item = &(RunKey, SimReport)> {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for SweepResults {
+    type Item = (RunKey, SimReport);
+    type IntoIter = std::vec::IntoIter<(RunKey, SimReport)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SweepResults {
+    type Item = &'a (RunKey, SimReport);
+    type IntoIter = std::slice::Iter<'a, (RunKey, SimReport)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
 /// Run one simulation.
 pub fn run_one(
     workload: WorkloadSpec,
@@ -71,13 +132,14 @@ pub fn run_one_cfg(
         .expect("generated workloads are valid programs")
 }
 
-/// Run a full sweep in parallel; returns reports keyed by run.
+/// Run a full sweep in parallel; returns reports in cross-product
+/// (FIFO) key order regardless of worker scheduling.
 pub fn run_suite(
     workloads: &[WorkloadSpec],
     protocols: &[ProtocolKind],
     core_counts: &[usize],
     params: &EvalParams,
-) -> HashMap<RunKey, SimReport> {
+) -> SweepResults {
     let mut keys = Vec::new();
     for &w in workloads {
         for &p in protocols {
@@ -99,18 +161,23 @@ pub fn run_suite(
     }
     .min(keys.len().max(1));
 
-    let work = Mutex::new(keys);
-    let results = Mutex::new(HashMap::new());
-    crossbeam::scope(|s| {
+    // FIFO work queue: a shared cursor into `keys`; per-key result
+    // slots keep the output in enqueue order.
+    let next = Mutex::new(0usize);
+    let slots: Vec<Mutex<Option<SimReport>>> = keys.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
         for _ in 0..jobs {
-            s.spawn(|_| loop {
-                let key = {
-                    let mut w = work.lock();
-                    match w.pop() {
-                        Some(k) => k,
-                        None => break,
+            s.spawn(|| loop {
+                let i = {
+                    let mut n = next.lock().expect("work-queue lock poisoned");
+                    if *n >= keys.len() {
+                        break;
                     }
+                    let i = *n;
+                    *n += 1;
+                    i
                 };
+                let key = keys[i];
                 let report = run_one(
                     key.workload,
                     key.protocol,
@@ -118,12 +185,23 @@ pub fn run_suite(
                     params.scale,
                     params.seed,
                 );
-                results.lock().insert(key, report);
+                *slots[i].lock().expect("result-slot lock poisoned") = Some(report);
             });
         }
-    })
-    .expect("sweep threads must not panic");
-    results.into_inner()
+    });
+    SweepResults {
+        entries: keys
+            .into_iter()
+            .zip(slots)
+            .map(|(k, slot)| {
+                let r = slot
+                    .into_inner()
+                    .expect("result-slot lock poisoned")
+                    .expect("every queued run completes");
+                (k, r)
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +233,37 @@ mod tests {
         for (k, r) in &out {
             assert_eq!(r.protocol, k.protocol);
             assert_eq!(r.workload.as_str(), k.workload.name());
+        }
+    }
+
+    #[test]
+    fn suite_results_are_in_cross_product_order() {
+        let workloads = [WorkloadSpec::PingPong, WorkloadSpec::PrivateOnly];
+        let protocols = [ProtocolKind::MesiBaseline, ProtocolKind::Ce];
+        let core_counts = [2usize, 4];
+        let params = EvalParams {
+            cores: 2,
+            scale: 1,
+            seed: 1,
+            jobs: 3,
+        };
+        let out = run_suite(&workloads, &protocols, &core_counts, &params);
+        let mut expected = Vec::new();
+        for w in workloads {
+            for p in protocols {
+                for c in core_counts {
+                    expected.push(RunKey {
+                        workload: w,
+                        protocol: p,
+                        cores: c,
+                    });
+                }
+            }
+        }
+        let got: Vec<RunKey> = out.keys().copied().collect();
+        assert_eq!(got, expected, "results must come back in enqueue order");
+        for (k, r) in &out {
+            assert_eq!(r.cores, k.cores);
         }
     }
 

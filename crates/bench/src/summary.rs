@@ -17,8 +17,8 @@
 //! headline result is caught by reading one table (and by the unit
 //! tests that run the checker on synthetic inputs).
 
+use rce_common::json::JsonValue as Value;
 use rce_common::table::Table;
-use serde_json::Value;
 use std::path::Path;
 
 /// One evaluated claim.
@@ -36,7 +36,7 @@ pub struct ClaimResult {
 
 fn load(dir: &Path, id: &str) -> Option<Value> {
     let text = std::fs::read_to_string(dir.join(format!("{id}.json"))).ok()?;
-    serde_json::from_str(&text).ok()
+    Value::parse(&text).ok()
 }
 
 fn geomean_row(fig: &Value, design: &str) -> Option<f64> {
@@ -138,12 +138,12 @@ pub fn render(claims: &[ClaimResult]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde_json::json;
+    use rce_common::json;
 
     fn write_fig(dir: &Path, id: &str, data: Value) {
         std::fs::write(
             dir.join(format!("{id}.json")),
-            serde_json::to_string(&json!({"id": id, "data": data})).unwrap(),
+            json::to_string(&json!({"id": id, "data": data})),
         )
         .unwrap();
     }

@@ -4,11 +4,9 @@
 //! encodes what the states mean so invariants can be asserted in one
 //! place.
 
-use serde::{Deserialize, Serialize};
-
 /// Classic MESI stable states for a line in a private cache, plus the
 /// optional Owned state used when the MOESI extension is enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MesiState {
     /// Modified: this cache holds the only, dirty copy.
     M,

@@ -6,8 +6,9 @@
 //! recency updates on `get_mut` but not `peek`) — exactly the behavior
 //! the simulator's hit/miss numbers rest on.
 
-use proptest::prelude::*;
 use rce_cache::SetAssoc;
+use rce_common::check::check_n;
+use rce_common::{prop_assert, prop_assert_eq, Rng};
 use std::collections::HashMap;
 
 const SETS: u64 = 4;
@@ -75,73 +76,86 @@ enum Op {
     Remove(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let key = 0u64..16;
-    prop_oneof![
-        key.clone().prop_map(Op::Get),
-        key.clone().prop_map(Op::Peek),
-        (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        key.prop_map(Op::Remove),
-    ]
+fn gen_op(rng: &mut dyn Rng) -> Op {
+    let key = rng.gen_range(16);
+    match rng.gen_range(4) {
+        0 => Op::Get(key),
+        1 => Op::Peek(key),
+        2 => Op::Insert(key, rng.next_u64() as u32),
+        _ => Op::Remove(key),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn set_assoc_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
-        let mut real: SetAssoc<u32> = SetAssoc::new(SETS, WAYS);
-        let mut model = Model::default();
-        for op in ops {
-            match op {
-                Op::Get(k) => {
-                    let r = real.get_mut(k).map(|v| *v);
-                    let m = model.get(k);
-                    prop_assert_eq!(r, m, "get {}", k);
-                }
-                Op::Peek(k) => {
-                    prop_assert_eq!(real.peek(k).copied(), model.peek(k), "peek {}", k);
-                }
-                Op::Insert(k, v) => {
-                    if real.contains(k) {
-                        continue; // double insert is a caller error
+#[test]
+fn set_assoc_matches_reference_model() {
+    check_n(
+        "set_assoc matches reference model",
+        256,
+        |rng| {
+            let n = 1 + rng.gen_range(199) as usize;
+            (0..n).map(|_| gen_op(rng)).collect::<Vec<Op>>()
+        },
+        |ops| {
+            let mut real: SetAssoc<u32> = SetAssoc::new(SETS, WAYS);
+            let mut model = Model::default();
+            for op in ops {
+                match *op {
+                    Op::Get(k) => {
+                        let r = real.get_mut(k).map(|v| *v);
+                        let m = model.get(k);
+                        prop_assert_eq!(r, m, "get {}", k);
                     }
-                    let r = real.insert(k, v);
-                    let m = model.insert(k, v);
-                    prop_assert_eq!(r, m, "insert {} eviction", k);
+                    Op::Peek(k) => {
+                        prop_assert_eq!(real.peek(k).copied(), model.peek(k), "peek {}", k);
+                    }
+                    Op::Insert(k, v) => {
+                        if real.contains(k) {
+                            continue; // double insert is a caller error
+                        }
+                        let r = real.insert(k, v);
+                        let m = model.insert(k, v);
+                        prop_assert_eq!(r, m, "insert {} eviction", k);
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(real.remove(k), model.remove(k), "remove {}", k);
+                    }
                 }
-                Op::Remove(k) => {
-                    prop_assert_eq!(real.remove(k), model.remove(k), "remove {}", k);
-                }
+                prop_assert_eq!(real.len(), model.len());
             }
-            prop_assert_eq!(real.len(), model.len());
-        }
-        // Final contents identical.
-        let mut real_items: Vec<_> = real.iter().map(|(k, v)| (k, *v)).collect();
-        real_items.sort_unstable();
-        let mut model_items: Vec<_> = model
-            .sets
-            .values()
-            .flatten()
-            .copied()
-            .collect();
-        model_items.sort_unstable();
-        prop_assert_eq!(real_items, model_items);
-    }
+            // Final contents identical.
+            let mut real_items: Vec<_> = real.iter().map(|(k, v)| (k, *v)).collect();
+            real_items.sort_unstable();
+            let mut model_items: Vec<_> = model.sets.values().flatten().copied().collect();
+            model_items.sort_unstable();
+            prop_assert_eq!(real_items, model_items);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn capacity_never_exceeded(keys in proptest::collection::vec(0u64..64, 1..300)) {
-        let mut a: SetAssoc<u64> = SetAssoc::new(SETS, WAYS);
-        for k in keys {
-            if !a.contains(k) {
-                a.insert(k, k);
+#[test]
+fn capacity_never_exceeded() {
+    check_n(
+        "set_assoc capacity never exceeded",
+        256,
+        |rng| {
+            let n = 1 + rng.gen_range(299) as usize;
+            (0..n).map(|_| rng.gen_range(64)).collect::<Vec<u64>>()
+        },
+        |keys| {
+            let mut a: SetAssoc<u64> = SetAssoc::new(SETS, WAYS);
+            for &k in keys {
+                if !a.contains(k) {
+                    a.insert(k, k);
+                }
+                prop_assert!(a.len() as u64 <= SETS * WAYS as u64);
+                // No set holds more than WAYS entries of its own index.
+                for s in 0..SETS {
+                    let in_set = a.iter().filter(|(k, _)| k & (SETS - 1) == s).count();
+                    prop_assert!(in_set <= WAYS as usize);
+                }
             }
-            prop_assert!(a.len() as u64 <= SETS * WAYS as u64);
-            // No set holds more than WAYS entries of its own index.
-            for s in 0..SETS {
-                let in_set = a.iter().filter(|(k, _)| k & (SETS - 1) == s).count();
-                prop_assert!(in_set <= WAYS as usize);
-            }
-        }
-    }
+            Ok(())
+        },
+    );
 }

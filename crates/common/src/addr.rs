@@ -7,7 +7,7 @@
 //! metadata (the heart of conflict detection) is kept as per-word
 //! bitmasks ([`WordMask`]).
 
-use serde::{Deserialize, Serialize};
+use crate::impl_json_newtype;
 
 /// Cache-line geometry constants shared by every model in the workspace.
 ///
@@ -32,10 +32,10 @@ impl LineGeometry {
 }
 
 /// A byte-granularity physical address.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
+
+impl_json_newtype!(Addr, LineAddr, WordIdx, WordMask);
 
 impl Addr {
     /// The cache line containing this address.
@@ -74,9 +74,7 @@ impl std::fmt::Display for Addr {
 
 /// A cache-line-granularity address (the byte address shifted right by
 /// [`LineGeometry::LINE_SHIFT`]).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
@@ -100,9 +98,7 @@ impl std::fmt::Display for LineAddr {
 }
 
 /// Index of an 8-byte word within a 64-byte line (0..8).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct WordIdx(pub u8);
 
 impl WordIdx {
@@ -116,9 +112,7 @@ impl WordIdx {
 /// in the set. This is the unit of access metadata: CE keeps one read
 /// mask and one write mask per line per core, ARC keeps them per region
 /// at the LLC.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct WordMask(pub u8);
 
 impl WordMask {

@@ -8,12 +8,11 @@
 //! allows us to reconstruct it (32 cores, 32 KiB L1, 2 MiB-per-bank
 //! shared LLC, 2D mesh, 4 DRAM channels).
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::Bytes;
+use crate::{impl_json_struct, impl_json_unit_enum};
 
 /// Which conflict-detection architecture (or baseline) to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// Plain MESI coherence, no conflict detection: the normalization
     /// baseline of every figure.
@@ -66,7 +65,7 @@ impl std::fmt::Display for ProtocolKind {
 /// exception. `Line` collapses the masks to whole lines, reproducing
 /// the cheaper-but-imprecise alternative; the granularity ablation
 /// (`paper ablate-granularity`) quantifies the difference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DetectionGranularity {
     /// Per 8-byte word (the paper's designs).
     #[default]
@@ -75,8 +74,57 @@ pub enum DetectionGranularity {
     Line,
 }
 
+impl_json_unit_enum!(ProtocolKind {
+    MesiBaseline,
+    Ce,
+    CePlus,
+    Arc
+});
+impl_json_unit_enum!(DetectionGranularity { Word, Line });
+impl_json_struct!(CacheGeometry {
+    capacity,
+    ways,
+    latency
+});
+impl_json_struct!(NocConfig {
+    hop_latency,
+    link_bandwidth,
+    flit_bytes,
+    ctrl_bytes,
+    data_header_bytes,
+});
+impl_json_struct!(DramConfig {
+    channels,
+    banks_per_channel,
+    row_hit_latency,
+    row_miss_latency,
+    channel_bandwidth,
+    row_bytes,
+});
+impl_json_struct!(AimConfig {
+    entries,
+    ways,
+    latency,
+    entry_bytes
+});
+impl_json_struct!(MachineConfig {
+    cores,
+    l1,
+    llc,
+    noc,
+    dram,
+    aim,
+    protocol,
+    metadata_piggyback_bytes,
+    signature_bytes_per_line,
+    ipc_scale,
+    granularity,
+    arc_readonly_sharing,
+    use_owned_state,
+});
+
 /// Geometry of one set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity: Bytes,
@@ -102,7 +150,7 @@ impl CacheGeometry {
 }
 
 /// On-chip network parameters (2D mesh).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocConfig {
     /// Per-hop latency (router traversal + link) in cycles.
     pub hop_latency: u64,
@@ -130,7 +178,7 @@ impl Default for NocConfig {
 }
 
 /// DRAM / memory-controller parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Number of independent channels.
     pub channels: u32,
@@ -162,7 +210,7 @@ impl Default for DramConfig {
 
 /// Access information memory (AIM) parameters — the on-chip metadata
 /// cache introduced by CE+ and reused at the LLC side by ARC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AimConfig {
     /// Number of metadata entries (one per tracked line).
     pub entries: u64,
@@ -188,7 +236,7 @@ impl Default for AimConfig {
 }
 
 /// Full machine configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of cores (threads are pinned 1:1). Must be a positive
     /// even number or 1 so a near-square mesh exists.

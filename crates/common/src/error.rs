@@ -5,13 +5,11 @@
 //! `RceError` covers genuine misuse: invalid configurations, malformed
 //! programs, and driver protocol violations.
 
-use serde::{Deserialize, Serialize};
-
 /// Result alias used across the workspace.
 pub type RceResult<T> = Result<T, RceError>;
 
 /// Errors raised by the simulator infrastructure.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RceError {
     /// The machine configuration failed validation.
     InvalidConfig(String),
@@ -23,6 +21,15 @@ pub enum RceError {
     DriverProtocol(String),
     /// A resource limit was exceeded (runaway simulation).
     LimitExceeded(String),
+    /// The event-driven scheduler exceeded its step budget — a
+    /// livelock guard, distinct from [`RceError::LimitExceeded`] so
+    /// callers can inspect how far the run got before giving up.
+    StepLimitExceeded {
+        /// Steps executed when the limit tripped.
+        steps: u64,
+        /// The budget that was exceeded.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for RceError {
@@ -32,6 +39,10 @@ impl std::fmt::Display for RceError {
             RceError::MalformedProgram(m) => write!(f, "malformed program: {m}"),
             RceError::DriverProtocol(m) => write!(f, "driver protocol violation: {m}"),
             RceError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            RceError::StepLimitExceeded { steps, limit } => write!(
+                f,
+                "step limit exceeded: {steps} scheduler steps ran against a budget of {limit} (livelock?)"
+            ),
         }
     }
 }
@@ -56,6 +67,12 @@ mod tests {
         assert!(RceError::LimitExceeded("w".into())
             .to_string()
             .contains("limit exceeded"));
+        let step = RceError::StepLimitExceeded {
+            steps: 12,
+            limit: 10,
+        };
+        assert!(step.to_string().contains("12"));
+        assert!(step.to_string().contains("budget of 10"));
     }
 
     #[test]

@@ -3,16 +3,13 @@
 //! All are thin newtypes over integers so they can be used as array
 //! indices without allocation while staying type-distinct.
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
         $(#[$meta])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-            Default,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub $inner);
+
+        $crate::impl_json_newtype!($name);
 
         impl $name {
             /// The raw index value.

@@ -6,7 +6,11 @@
 //! the machine configuration tree ([`config`]), counters and summary
 //! statistics ([`stats`]), deterministic random number generation
 //! ([`rng`]), ASCII table rendering for the benchmark harness
-//! ([`table`]), and the error/exception taxonomy ([`error`]).
+//! ([`table`]), the error/exception taxonomy ([`error`]), in-tree JSON
+//! serialization ([`json`]), and the property-test harness ([`check`]).
+//!
+//! The workspace builds fully offline with zero third-party crates;
+//! [`json`] and [`check`] exist to keep it that way.
 //!
 //! Nothing in this crate models hardware behavior; it only provides the
 //! data types the models are built from. Keeping these in one leaf crate
@@ -17,9 +21,11 @@
 #![deny(unsafe_code)]
 
 pub mod addr;
+pub mod check;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -32,6 +38,7 @@ pub use config::{
 };
 pub use error::{RceError, RceResult};
 pub use ids::{BarrierId, CoreId, LockId, RegionId, ThreadId};
+pub use json::{FromJson, JsonValue, ToJson};
 pub use rng::{Rng, SplitMix64};
 pub use stats::{geomean, Counter, Histogram, Summary};
 pub use units::{Bytes, Cycles, PicoJoules};

@@ -5,10 +5,9 @@
 //! seeded explicitly, so a `(workload, seed)` pair always produces the
 //! same trace and the same simulation result. We implement the
 //! generator ourselves rather than pulling `rand`'s default so that the
-//! bit stream is pinned forever; `rand` is still used in a few tests
-//! for convenience distributions.
-
-use serde::{Deserialize, Serialize};
+//! bit stream is pinned forever; nothing in the workspace depends on
+//! `rand` — the property-test harness ([`crate::check`]) draws its
+//! cases from this module too.
 
 /// Minimal RNG interface used across the workspace.
 pub trait Rng {
@@ -77,7 +76,7 @@ pub trait Rng {
 /// SplitMix64: tiny, fast, high-quality 64-bit generator. Used both
 /// directly and to seed substreams (each thread/component derives its
 /// own stream via [`SplitMix64::split`], keeping streams independent).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }

@@ -7,11 +7,26 @@
 //! [`geomean`] is the figure-of-merit aggregator used in the paper's
 //! cross-benchmark summaries.
 
-use serde::{Deserialize, Serialize};
+use crate::{impl_json_newtype, impl_json_struct};
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Counter(pub u64);
+
+impl_json_newtype!(Counter);
+impl_json_struct!(Histogram {
+    buckets,
+    count,
+    sum,
+    min,
+    max
+});
+impl_json_struct!(Summary {
+    count,
+    mean,
+    min,
+    max
+});
 
 impl Counter {
     /// Increment by one.
@@ -55,7 +70,7 @@ impl std::fmt::Display for Counter {
 ///
 /// Bucket `i` holds values in `[2^i, 2^(i+1))`; bucket 0 additionally
 /// holds 0 and 1.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -156,7 +171,7 @@ impl Histogram {
 }
 
 /// Streaming summary of f64 samples: count, mean, min, max.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,

@@ -4,13 +4,13 @@
 //! energy is picojoule based (stored as `f64` because it is only ever
 //! aggregated, never compared for simulation decisions).
 
-use serde::{Deserialize, Serialize};
+use crate::impl_json_newtype;
 
 /// A duration or timestamp in core clock cycles.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(pub u64);
+
+impl_json_newtype!(Cycles, Bytes, PicoJoules);
 
 impl Cycles {
     /// Zero cycles.
@@ -59,9 +59,7 @@ impl std::fmt::Display for Cycles {
 }
 
 /// A quantity of data in bytes.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bytes(pub u64);
 
 impl Bytes {
@@ -122,7 +120,7 @@ impl std::fmt::Display for Bytes {
 }
 
 /// Energy in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct PicoJoules(pub f64);
 
 impl PicoJoules {

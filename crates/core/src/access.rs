@@ -10,10 +10,9 @@
 
 use crate::exception::{AccessType, ConflictSide};
 use rce_common::{CoreId, RegionId, WordMask};
-use serde::{Deserialize, Serialize};
 
 /// One core's access bits for one line within one region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetaEntry {
     /// Which core.
     pub core: CoreId,
@@ -37,7 +36,7 @@ impl MetaEntry {
 ///
 /// Stored as a small vector (cores touching one line concurrently are
 /// few); lookups are linear scans.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetaMap {
     entries: Vec<MetaEntry>,
 }

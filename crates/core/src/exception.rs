@@ -7,11 +7,10 @@
 //! kinds, which is what lets a language runtime deliver fail-stop
 //! semantics for data races.
 
-use rce_common::{Addr, CoreId, Cycles, RegionId};
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_struct, impl_json_unit_enum, Addr, CoreId, Cycles, RegionId};
 
 /// Which kind of access participated in the conflict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessType {
     /// A load.
     Read,
@@ -29,8 +28,10 @@ impl AccessType {
     }
 }
 
+impl_json_unit_enum!(AccessType { Read, Write });
+
 /// One endpoint of a conflict: who accessed what, how.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConflictSide {
     /// The core.
     pub core: CoreId,
@@ -47,7 +48,7 @@ pub struct ConflictSide {
 /// designs (CE eagerly at the coherence action, ARC at a registration
 /// or region end), and the differential tests compare conflict
 /// *identities* across engines.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ConflictException {
     /// First side (lower core ID).
     pub a: ConflictSide,
@@ -58,6 +59,14 @@ pub struct ConflictException {
     /// When the engine delivered the exception.
     pub detected_at: Cycles,
 }
+
+impl_json_struct!(ConflictSide { core, region, kind });
+impl_json_struct!(ConflictException {
+    a,
+    b,
+    word_addr,
+    detected_at,
+});
 
 impl ConflictException {
     /// Build with canonical side ordering (lower core first). Panics
@@ -130,7 +139,7 @@ impl std::fmt::Display for ConflictException {
 }
 
 /// What the machine does when an engine raises an exception.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExceptionPolicy {
     /// Record the exception and keep executing (the evaluation mode:
     /// the paper measures full runs of racy programs).

@@ -29,10 +29,33 @@ enum Status {
     Done,
 }
 
+/// Scheduler steps allowed per program operation before the driver
+/// declares a livelock.
+///
+/// Every committed operation takes one step, but blocked cores and the
+/// per-thread final-region boundaries also consume steps, so the
+/// budget must be a comfortable multiple of the op count. Eight covers
+/// the worst legal interleaving (every core re-examined between each
+/// commit) with a wide margin while still catching a scheduler that
+/// stops making progress.
+pub const STEP_LIMIT_FACTOR: u64 = 8;
+
+/// Flat step allowance added on top of the per-op budget so that tiny
+/// programs (few ops, many cores) still get room for boundary and
+/// wake-up bookkeeping.
+pub const STEP_LIMIT_BASE: u64 = 100_000;
+
+/// The default scheduler-step budget for a program:
+/// `(total_ops + 1) * STEP_LIMIT_FACTOR + STEP_LIMIT_BASE`.
+pub fn default_step_limit(total_ops: u64) -> u64 {
+    (total_ops + 1) * STEP_LIMIT_FACTOR + STEP_LIMIT_BASE
+}
+
 /// The simulator.
 pub struct Machine {
     cfg: MachineConfig,
     energy_model: EnergyModel,
+    step_limit: Option<u64>,
 }
 
 impl Machine {
@@ -42,12 +65,21 @@ impl Machine {
         Ok(Machine {
             cfg: cfg.clone(),
             energy_model: EnergyModel::default(),
+            step_limit: None,
         })
     }
 
     /// Override the energy model.
     pub fn with_energy_model(mut self, m: EnergyModel) -> Self {
         self.energy_model = m;
+        self
+    }
+
+    /// Override the scheduler-step budget (default:
+    /// [`default_step_limit`] of the program's op count). Mostly for
+    /// tests that want a livelock to trip quickly.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = Some(limit);
         self
     }
 
@@ -100,7 +132,9 @@ impl Machine {
             .ok()
             .and_then(|w| w.parse().ok());
 
-        let limit = (program.total_ops() as u64 + 1) * 8 + 100_000;
+        let limit = self
+            .step_limit
+            .unwrap_or_else(|| default_step_limit(program.total_ops() as u64));
         let mut steps = 0u64;
 
         // End the core's current region: engine boundary work, region
@@ -133,9 +167,7 @@ impl Machine {
         'run: loop {
             steps += 1;
             if steps > limit {
-                return Err(RceError::LimitExceeded(format!(
-                    "simulation exceeded {limit} steps (livelock?)"
-                )));
+                return Err(RceError::StepLimitExceeded { steps, limit });
             }
             // Pick the runnable core with the smallest clock.
             let mut pick: Option<usize> = None;
@@ -431,6 +463,80 @@ mod tests {
         assert_eq!(r.exceptions.len(), 1);
         let full = m.run(&p).unwrap();
         assert!(full.mem_ops >= r.mem_ops);
+    }
+
+    #[test]
+    fn step_limit_is_structured_and_overridable() {
+        use rce_common::Addr;
+        use rce_trace::Program;
+        // Classic ABBA deadlock: each core holds one lock and wants
+        // the other's.
+        let abba = Program {
+            name: "abba".into(),
+            threads: vec![
+                vec![
+                    Op::Acquire {
+                        lock: rce_common::LockId(0),
+                    },
+                    Op::Work { cycles: 10 },
+                    Op::Acquire {
+                        lock: rce_common::LockId(1),
+                    },
+                    Op::Release {
+                        lock: rce_common::LockId(1),
+                    },
+                    Op::Release {
+                        lock: rce_common::LockId(0),
+                    },
+                ],
+                vec![
+                    Op::Acquire {
+                        lock: rce_common::LockId(1),
+                    },
+                    Op::Work { cycles: 10 },
+                    Op::Acquire {
+                        lock: rce_common::LockId(0),
+                    },
+                    Op::Release {
+                        lock: rce_common::LockId(0),
+                    },
+                    Op::Release {
+                        lock: rce_common::LockId(1),
+                    },
+                ],
+            ],
+            n_locks: 2,
+            n_barriers: 0,
+            shared_base: Addr(0),
+            shared_end: Addr(4096),
+        };
+        let cfg = MachineConfig::paper_default(2, ProtocolKind::Ce);
+
+        // With the default budget the scheduler reaches the blocked
+        // state and reports the deadlock itself.
+        let err = Machine::new(&cfg).unwrap().run(&abba).unwrap_err();
+        assert!(matches!(err, RceError::DriverProtocol(_)), "{err}");
+
+        // A tiny explicit budget trips the structured step limit
+        // before the deadlock is even reached.
+        let err = Machine::new(&cfg)
+            .unwrap()
+            .with_step_limit(2)
+            .run(&abba)
+            .unwrap_err();
+        match err {
+            RceError::StepLimitExceeded { steps, limit } => {
+                assert_eq!(limit, 2);
+                assert!(steps > limit);
+            }
+            other => panic!("expected StepLimitExceeded, got {other}"),
+        }
+
+        // The default budget formula is the documented one.
+        assert_eq!(
+            default_step_limit(100),
+            101 * STEP_LIMIT_FACTOR + STEP_LIMIT_BASE
+        );
     }
 
     #[test]

@@ -283,4 +283,89 @@ mod tests {
         s.llc_put(line, Cycles(10));
         assert_eq!(s.dram.stats().total_accesses(), before);
     }
+
+    /// A substrate with a tiny LLC (16 sets × 2 ways) so one set
+    /// overflows after three same-set lines.
+    fn tiny_llc_sub() -> Substrate {
+        let mut cfg = MachineConfig::paper_default(4, ProtocolKind::MesiBaseline);
+        cfg.llc = rce_common::CacheGeometry {
+            capacity: rce_common::Bytes(2048),
+            ways: 2,
+            latency: cfg.llc.latency,
+        };
+        Substrate::new(&cfg)
+    }
+
+    /// Three lines mapping to the same LLC set, picked so the first
+    /// (the eventual LRU victim) has its bank and memory controller on
+    /// *different* tiles — its writeback must cross the NoC.
+    fn colliding_lines(s: &Substrate) -> (LineAddr, LineAddr, LineAddr) {
+        let sets = s.cfg.llc.sets();
+        let victim = (0..64)
+            .map(|k| LineAddr(k * sets))
+            .find(|l| s.bank_node(*l) != s.noc.mem_node(*l))
+            .expect("some set-0 line has a remote memory controller");
+        let mut rest = (0..64).map(|k| LineAddr(k * sets)).filter(|l| *l != victim);
+        let b = rest.next().unwrap();
+        let c = rest.next().unwrap();
+        (victim, b, c)
+    }
+
+    #[test]
+    fn llc_put_dirty_victim_charges_writeback_once() {
+        let mut s = tiny_llc_sub();
+        assert_eq!(s.cfg.llc.sets(), 16);
+        let (victim, b, c) = colliding_lines(&s);
+        // Fill one set with two dirty lines, then overflow it.
+        s.llc_put(victim, Cycles(0));
+        s.llc_put(b, Cycles(0));
+        let wb_idx = MsgClass::Writeback.index();
+        let dw_idx = DramKind::DataWrite.index();
+        assert_eq!(s.noc.stats().msgs[wb_idx].get(), 0);
+        assert_eq!(s.dram.stats().accesses[dw_idx].get(), 0);
+
+        let now = Cycles(1_000);
+        let done = s.llc_put(c, now);
+
+        // The dirty LRU victim is written back exactly once: one NoC
+        // writeback message and one 64-byte DRAM data write.
+        assert_eq!(s.noc.stats().msgs[wb_idx].get(), 1);
+        assert_eq!(s.dram.stats().accesses[dw_idx].get(), 1);
+        assert_eq!(s.dram.stats().bytes[dw_idx].0, 64);
+        // Off the critical path: the put completes at the plain LLC
+        // latency regardless of the victim traffic.
+        assert_eq!(done.0, now.0 + s.cfg.llc.latency);
+        assert!(!s.llc.contains(victim), "LRU victim evicted");
+    }
+
+    #[test]
+    fn llc_data_dirty_victim_writeback_is_off_critical_path() {
+        let (victim, b, c) = colliding_lines(&tiny_llc_sub());
+        let now = Cycles(10_000);
+
+        // Control: a cold miss with no victims to evict.
+        let mut clean = tiny_llc_sub();
+        let control = clean.llc_data(c, now);
+
+        // Same miss, but the set is full of dirty lines. llc_put
+        // touches neither the NoC nor DRAM, so both substrates face
+        // the miss in identical contention state.
+        let mut s = tiny_llc_sub();
+        s.llc_put(victim, Cycles(0));
+        s.llc_put(b, Cycles(0));
+        let back = s.llc_data(c, now);
+
+        let wb_idx = MsgClass::Writeback.index();
+        let dw_idx = DramKind::DataWrite.index();
+        assert_eq!(s.noc.stats().msgs[wb_idx].get(), 1);
+        assert_eq!(s.dram.stats().accesses[dw_idx].get(), 1);
+        assert_eq!(s.dram.stats().bytes[dw_idx].0, 64);
+        assert_eq!(
+            back, control,
+            "victim writeback must not delay the requester"
+        );
+        // The writeback traffic is real: strictly more NoC bytes than
+        // the clean miss.
+        assert!(s.noc.total_bytes() > clean.noc.total_bytes());
+    }
 }

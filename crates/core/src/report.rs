@@ -1,14 +1,13 @@
 //! Simulation reports and cross-design normalization.
 
 use crate::exception::ConflictException;
-use rce_common::{Bytes, Cycles, PicoJoules, ProtocolKind};
+use rce_common::{impl_json_struct, Bytes, Cycles, PicoJoules, ProtocolKind};
 use rce_dram::DramStats;
 use rce_energy::EnergyBreakdown;
 use rce_noc::NocStats;
-use serde::{Deserialize, Serialize};
 
 /// Per-core execution summary.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CoreStats {
     /// The core's local clock when its thread finished.
     pub finish: Cycles,
@@ -18,8 +17,14 @@ pub struct CoreStats {
     pub sync_ops: u64,
 }
 
+impl_json_struct!(CoreStats {
+    finish,
+    mem_ops,
+    sync_ops,
+});
+
 /// AIM summary for designs that have one.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AimSummary {
     /// Total lookups.
     pub accesses: u64,
@@ -43,8 +48,15 @@ impl AimSummary {
     }
 }
 
+impl_json_struct!(AimSummary {
+    accesses,
+    hits,
+    misses,
+    spills,
+});
+
 /// Everything one simulation run produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Simulated design.
     pub protocol: ProtocolKind,
@@ -100,6 +112,33 @@ pub struct SimReport {
     /// (`ExceptionPolicy::AbortOnFirst`).
     pub aborted: bool,
 }
+
+impl_json_struct!(SimReport {
+    protocol,
+    workload,
+    cores,
+    cycles,
+    mem_ops,
+    sync_ops,
+    regions,
+    l1_hits,
+    l1_misses,
+    l1_evictions,
+    llc_hits,
+    llc_misses,
+    noc,
+    dram,
+    aim,
+    energy,
+    engine_counters,
+    access_latency,
+    region_len,
+    boundary_cost,
+    per_core,
+    exceptions,
+    oracle_conflicts,
+    aborted,
+});
 
 impl SimReport {
     /// Total on-chip traffic.
@@ -179,7 +218,7 @@ impl SimReport {
 }
 
 /// One figure row: metrics relative to the MESI baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NormalizedRow {
     /// Design.
     pub protocol: ProtocolKind,
@@ -196,6 +235,16 @@ pub struct NormalizedRow {
     /// DRAM bytes / baseline DRAM bytes.
     pub dram_traffic: f64,
 }
+
+impl_json_struct!(NormalizedRow {
+    protocol,
+    workload,
+    cores,
+    runtime,
+    energy,
+    noc_traffic,
+    dram_traffic,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
-//! Report integrity: histograms, serde round-trips, and
+//! Report integrity: histograms, JSON round-trips, and
 //! cross-field consistency of `SimReport`.
 
-use rce_common::{MachineConfig, ProtocolKind};
+use rce_common::{json, MachineConfig, ProtocolKind};
 use rce_core::Machine;
 use rce_trace::WorkloadSpec;
 
@@ -47,10 +47,10 @@ fn access_latency_tracks_misses() {
 }
 
 #[test]
-fn report_serde_roundtrip() {
+fn report_json_roundtrip() {
     let r = report(WorkloadSpec::RacyPair, ProtocolKind::Arc);
-    let json = serde_json::to_string(&r).expect("serialize");
-    let back: rce_core::SimReport = serde_json::from_str(&json).expect("deserialize");
+    let json = json::to_string(&r);
+    let back: rce_core::SimReport = json::from_str(&json).expect("deserialize");
     assert_eq!(back.cycles, r.cycles);
     assert_eq!(back.exceptions, r.exceptions);
     assert_eq!(back.mem_ops, r.mem_ops);
@@ -64,9 +64,9 @@ fn normalized_rows_serialize() {
     let base = report(WorkloadSpec::Vips, ProtocolKind::MesiBaseline);
     let arc = report(WorkloadSpec::Vips, ProtocolKind::Arc);
     let row = arc.normalized_to(&base);
-    let json = serde_json::to_string(&row).unwrap();
+    let json = json::to_string(&row);
     assert!(json.contains("runtime"));
-    let back: rce_core::report::NormalizedRow = serde_json::from_str(&json).unwrap();
+    let back: rce_core::report::NormalizedRow = json::from_str(&json).unwrap();
     assert_eq!(back.protocol, ProtocolKind::Arc);
     assert!((back.runtime - row.runtime).abs() < 1e-12);
 }

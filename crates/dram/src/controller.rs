@@ -1,11 +1,10 @@
 //! The memory controller: channels, banks, row buffers, service.
 
 use crate::stats::DramStats;
-use rce_common::{Bytes, Cycles, DramConfig, LineAddr};
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_unit_enum, Bytes, Cycles, DramConfig, LineAddr};
 
 /// What an access is for — program data or conflict metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// Line fill toward the cache hierarchy.
     DataRead,
@@ -18,6 +17,13 @@ pub enum AccessKind {
     /// overflow).
     MetaWrite,
 }
+
+impl_json_unit_enum!(AccessKind {
+    DataRead,
+    DataWrite,
+    MetaRead,
+    MetaWrite
+});
 
 impl AccessKind {
     /// All kinds, display order.

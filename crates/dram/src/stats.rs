@@ -1,11 +1,10 @@
 //! DRAM accounting.
 
 use crate::controller::AccessKind;
-use rce_common::{Bytes, Counter};
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_struct, Bytes, Counter};
 
 /// Accumulated DRAM statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DramStats {
     /// Access counts by kind (indexed by [`AccessKind::index`]).
     pub accesses: [Counter; 4],
@@ -22,6 +21,16 @@ pub struct DramStats {
     /// Mean channel utilization.
     pub mean_channel_utilization: f64,
 }
+
+impl_json_struct!(DramStats {
+    accesses,
+    bytes,
+    row_hits,
+    row_misses,
+    total_queue_delay,
+    peak_channel_utilization,
+    mean_channel_utilization,
+});
 
 impl DramStats {
     pub(crate) fn record(&mut self, kind: AccessKind, bytes: u64, row_hit: bool, queue: u64) {

@@ -1,11 +1,10 @@
 //! Energy accounting: event counts → picojoules with a component
 //! breakdown.
 
-use rce_common::PicoJoules;
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_struct, PicoJoules};
 
 /// Per-event energy constants. All values in picojoules unless noted.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One L1 tag+data access.
     pub l1_access: f64,
@@ -40,8 +39,18 @@ impl Default for EnergyModel {
     }
 }
 
+impl_json_struct!(EnergyBreakdown {
+    l1,
+    llc,
+    aim,
+    dir,
+    noc,
+    dram,
+    static_
+});
+
 /// Raw event counts collected by a simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EventCounts {
     /// L1 accesses (hits and misses both touch the array).
     pub l1_accesses: u64,
@@ -64,7 +73,7 @@ pub struct EventCounts {
 }
 
 /// Energy per component, plus the total.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Private cache energy.
     pub l1: PicoJoules,

@@ -1,13 +1,12 @@
 //! Mesh topology and XY routing.
 
-use rce_common::{CoreId, LineAddr};
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_newtype, CoreId, LineAddr};
 
 /// A tile index in the mesh (row-major).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub usize);
+
+impl_json_newtype!(NodeId);
 
 impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -17,7 +16,7 @@ impl std::fmt::Display for NodeId {
 
 /// A `width × height` mesh of tiles, sized to hold one tile per core
 /// (near-square, width ≥ height).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mesh {
     width: usize,
     height: usize,

@@ -2,11 +2,10 @@
 
 use crate::mesh::{Mesh, NodeId};
 use crate::stats::NocStats;
-use rce_common::{Bytes, CoreId, Cycles, LineAddr, NocConfig};
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_unit_enum, Bytes, CoreId, Cycles, LineAddr, NocConfig};
 
 /// Message classes, accounted separately.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgClass {
     /// Coherence request (read/upgrade miss) or forward.
     Request,
@@ -24,6 +23,16 @@ pub enum MsgClass {
     /// Writeback of evicted dirty data toward LLC/memory.
     Writeback,
 }
+
+impl_json_unit_enum!(MsgClass {
+    Request,
+    Response,
+    Data,
+    Invalidation,
+    Ack,
+    Metadata,
+    Writeback,
+});
 
 impl MsgClass {
     /// All classes, in display order.

@@ -1,11 +1,10 @@
 //! NoC accounting.
 
 use crate::network::MsgClass;
-use rce_common::{Bytes, Counter, Histogram};
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_struct, Bytes, Counter, Histogram};
 
 /// Accumulated network statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NocStats {
     /// Messages per class (indexed by [`MsgClass::index`]).
     pub msgs: [Counter; 7],
@@ -24,6 +23,17 @@ pub struct NocStats {
     /// Mean utilization over links that carried traffic.
     pub mean_link_utilization: f64,
 }
+
+impl_json_struct!(NocStats {
+    msgs,
+    bytes,
+    flit_hops,
+    local_msgs,
+    total_queue_delay,
+    hop_hist,
+    peak_link_utilization,
+    mean_link_utilization,
+});
 
 impl Default for NocStats {
     fn default() -> Self {

@@ -1,78 +1,140 @@
 //! NoC invariants under random traffic.
 
-use proptest::prelude::*;
-use rce_common::{Cycles, NocConfig};
+use rce_common::check::{check_n, Unshrunk};
+use rce_common::{prop_assert, prop_assert_eq, Cycles, NocConfig, Rng};
 use rce_noc::{MsgClass, Noc, NodeId};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arrival is never before departure, and grows with payload.
-    #[test]
-    fn latency_causal_and_monotone(
-        src in 0usize..16,
-        dst in 0usize..16,
-        bytes in 1u64..512,
-        t0 in 0u64..10_000,
-    ) {
-        let mut n = Noc::new(16, NocConfig::default());
-        let arrive = n.send(NodeId(src), NodeId(dst), bytes, MsgClass::Data, Cycles(t0));
-        prop_assert!(arrive.0 >= t0);
-        if src != dst {
-            let mut n2 = Noc::new(16, NocConfig::default());
-            let bigger = n2.send(NodeId(src), NodeId(dst), bytes + 512, MsgClass::Data, Cycles(t0));
-            prop_assert!(bigger >= arrive, "more bytes cannot arrive earlier");
-        }
-    }
-
-    /// Byte accounting equals the flit-padded sum of routed messages.
-    #[test]
-    fn bytes_are_flit_padded_sums(
-        msgs in proptest::collection::vec((0usize..16, 0usize..16, 1u64..256), 1..64),
-    ) {
-        let cfg = NocConfig::default();
-        let mut n = Noc::new(16, cfg);
-        let mut expected = 0u64;
-        for (s, d, b) in msgs {
-            n.send(NodeId(s), NodeId(d), b, MsgClass::Data, Cycles(0));
-            if s != d {
-                expected += b.div_ceil(cfg.flit_bytes).max(1) * cfg.flit_bytes;
+/// Arrival is never before departure, and grows with payload.
+#[test]
+fn latency_causal_and_monotone() {
+    check_n(
+        "noc latency causal and monotone",
+        128,
+        |rng| {
+            Unshrunk((
+                rng.gen_range(16) as usize,
+                rng.gen_range(16) as usize,
+                1 + rng.gen_range(511),
+                rng.gen_range(10_000),
+            ))
+        },
+        |Unshrunk((src, dst, bytes, t0))| {
+            let mut n = Noc::new(16, NocConfig::default());
+            let arrive = n.send(
+                NodeId(*src),
+                NodeId(*dst),
+                *bytes,
+                MsgClass::Data,
+                Cycles(*t0),
+            );
+            prop_assert!(arrive.0 >= *t0);
+            if src != dst {
+                let mut n2 = Noc::new(16, NocConfig::default());
+                let bigger = n2.send(
+                    NodeId(*src),
+                    NodeId(*dst),
+                    bytes + 512,
+                    MsgClass::Data,
+                    Cycles(*t0),
+                );
+                prop_assert!(bigger >= arrive, "more bytes cannot arrive earlier");
             }
-        }
-        prop_assert_eq!(n.total_bytes().0, expected);
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// FIFO links: two messages on the same route arrive in send order.
-    #[test]
-    fn same_route_is_fifo(
-        bytes1 in 1u64..256,
-        bytes2 in 1u64..256,
-        gap in 0u64..16,
-    ) {
-        let mut n = Noc::new(16, NocConfig::default());
-        let a = n.send(NodeId(0), NodeId(15), bytes1, MsgClass::Data, Cycles(0));
-        let b = n.send(NodeId(0), NodeId(15), bytes2, MsgClass::Data, Cycles(gap));
-        prop_assert!(b >= a, "later message must not overtake on the same route");
-    }
+/// Byte accounting equals the flit-padded sum of routed messages.
+#[test]
+fn bytes_are_flit_padded_sums() {
+    check_n(
+        "noc bytes are flit-padded sums",
+        128,
+        |rng| {
+            let n = 1 + rng.gen_range(63) as usize;
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(16) as usize,
+                        rng.gen_range(16) as usize,
+                        1 + rng.gen_range(255),
+                    )
+                })
+                .collect::<Vec<_>>()
+        },
+        |msgs| {
+            let cfg = NocConfig::default();
+            let mut n = Noc::new(16, cfg);
+            let mut expected = 0u64;
+            for &(s, d, b) in msgs {
+                n.send(NodeId(s), NodeId(d), b, MsgClass::Data, Cycles(0));
+                if s != d {
+                    expected += b.div_ceil(cfg.flit_bytes).max(1) * cfg.flit_bytes;
+                }
+            }
+            prop_assert_eq!(n.total_bytes().0, expected);
+            Ok(())
+        },
+    );
+}
 
-    /// Utilization stays in [0, 1] after finalize.
-    #[test]
-    fn utilization_bounded(
-        msgs in proptest::collection::vec((0usize..9, 0usize..9, 1u64..256), 1..128),
-        end in 1u64..50_000,
-    ) {
-        let mut n = Noc::new(9, NocConfig::default());
-        let mut latest = 0;
-        for (s, d, b) in msgs {
-            let t = n.send(NodeId(s), NodeId(d), b, MsgClass::Request, Cycles(0));
-            latest = latest.max(t.0);
-        }
-        n.finalize(Cycles(end.max(latest)));
-        let s = n.stats();
-        prop_assert!((0.0..=1.0).contains(&s.peak_link_utilization));
-        prop_assert!((0.0..=1.0).contains(&s.mean_link_utilization));
-        prop_assert!(s.mean_link_utilization <= s.peak_link_utilization + 1e-9);
-    }
+/// FIFO links: two messages on the same route arrive in send order.
+#[test]
+fn same_route_is_fifo() {
+    check_n(
+        "noc same route is fifo",
+        128,
+        |rng| {
+            Unshrunk((
+                1 + rng.gen_range(255),
+                1 + rng.gen_range(255),
+                rng.gen_range(16),
+            ))
+        },
+        |Unshrunk((bytes1, bytes2, gap))| {
+            let mut n = Noc::new(16, NocConfig::default());
+            let a = n.send(NodeId(0), NodeId(15), *bytes1, MsgClass::Data, Cycles(0));
+            let b = n.send(NodeId(0), NodeId(15), *bytes2, MsgClass::Data, Cycles(*gap));
+            prop_assert!(b >= a, "later message must not overtake on the same route");
+            Ok(())
+        },
+    );
+}
+
+/// Utilization stays in [0, 1] after finalize.
+#[test]
+fn utilization_bounded() {
+    check_n(
+        "noc utilization bounded",
+        128,
+        |rng| {
+            let n = 1 + rng.gen_range(127) as usize;
+            let msgs: Vec<(usize, usize, u64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(9) as usize,
+                        rng.gen_range(9) as usize,
+                        1 + rng.gen_range(255),
+                    )
+                })
+                .collect();
+            (msgs, Unshrunk(1 + rng.gen_range(49_999)))
+        },
+        |(msgs, Unshrunk(end))| {
+            let mut n = Noc::new(9, NocConfig::default());
+            let mut latest = 0;
+            for &(s, d, b) in msgs {
+                let t = n.send(NodeId(s), NodeId(d), b, MsgClass::Request, Cycles(0));
+                latest = latest.max(t.0);
+            }
+            n.finalize(Cycles((*end).max(latest)));
+            let s = n.stats();
+            prop_assert!((0.0..=1.0).contains(&s.peak_link_utilization));
+            prop_assert!((0.0..=1.0).contains(&s.mean_link_utilization));
+            prop_assert!(s.mean_link_utilization <= s.peak_link_utilization + 1e-9);
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -8,11 +8,11 @@
 
 use crate::program::Program;
 use crate::regions::region_stats;
-use serde::{Deserialize, Serialize};
+use rce_common::impl_json_struct;
 use std::collections::{HashMap, HashSet};
 
 /// Table II row for one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadChar {
     /// Workload name.
     pub name: String,
@@ -35,6 +35,19 @@ pub struct WorkloadChar {
     /// Fraction of memory ops that are writes.
     pub write_frac: f64,
 }
+
+impl_json_struct!(WorkloadChar {
+    name,
+    threads,
+    mem_ops,
+    sync_ops,
+    regions,
+    mean_region_len,
+    footprint_lines,
+    shared_lines,
+    shared_access_frac,
+    write_frac,
+});
 
 /// Compute the Table II row for `p`.
 pub fn characterize(p: &Program) -> WorkloadChar {

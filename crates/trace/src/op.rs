@@ -1,7 +1,7 @@
 //! The per-thread operation alphabet.
 
+use rce_common::json::{FromJson, JsonValue, ToJson};
 use rce_common::{Addr, BarrierId, LockId};
-use serde::{Deserialize, Serialize};
 
 /// One operation in a thread's trace.
 ///
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// operations (`Acquire`, `Release`, `Barrier`) are region boundaries.
 /// `Work` models local computation between memory operations; it
 /// advances the core's clock without touching memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Load `len` bytes at `addr`.
     Read {
@@ -81,6 +81,69 @@ impl Op {
     }
 }
 
+// The interchange format is externally tagged, matching the serde
+// convention the `tracegen dump`/`run` contract was pinned against:
+// `{"Read": {"addr": 256, "len": 8}}`, `{"Acquire": {"lock": 0}}`.
+impl ToJson for Op {
+    fn to_json(&self) -> JsonValue {
+        let (tag, body) = match self {
+            Op::Read { addr, len } => (
+                "Read",
+                vec![
+                    ("addr".to_string(), addr.to_json()),
+                    ("len".to_string(), len.to_json()),
+                ],
+            ),
+            Op::Write { addr, len } => (
+                "Write",
+                vec![
+                    ("addr".to_string(), addr.to_json()),
+                    ("len".to_string(), len.to_json()),
+                ],
+            ),
+            Op::Acquire { lock } => ("Acquire", vec![("lock".to_string(), lock.to_json())]),
+            Op::Release { lock } => ("Release", vec![("lock".to_string(), lock.to_json())]),
+            Op::Barrier { bar } => ("Barrier", vec![("bar".to_string(), bar.to_json())]),
+            Op::Work { cycles } => ("Work", vec![("cycles".to_string(), cycles.to_json())]),
+        };
+        JsonValue::Object(vec![(tag.to_string(), JsonValue::Object(body))])
+    }
+}
+
+impl FromJson for Op {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let JsonValue::Object(pairs) = v else {
+            return Err(format!("expected externally tagged op object, got {v}"));
+        };
+        let [(tag, body)] = pairs.as_slice() else {
+            return Err(format!("op object must have exactly one tag, got {v}"));
+        };
+        match tag.as_str() {
+            "Read" => Ok(Op::Read {
+                addr: Addr::from_json(body.field("addr")?)?,
+                len: u32::from_json(body.field("len")?)?,
+            }),
+            "Write" => Ok(Op::Write {
+                addr: Addr::from_json(body.field("addr")?)?,
+                len: u32::from_json(body.field("len")?)?,
+            }),
+            "Acquire" => Ok(Op::Acquire {
+                lock: LockId::from_json(body.field("lock")?)?,
+            }),
+            "Release" => Ok(Op::Release {
+                lock: LockId::from_json(body.field("lock")?)?,
+            }),
+            "Barrier" => Ok(Op::Barrier {
+                bar: BarrierId::from_json(body.field("bar")?)?,
+            }),
+            "Work" => Ok(Op::Work {
+                cycles: u32::from_json(body.field("cycles")?)?,
+            }),
+            other => Err(format!("unknown op tag `{other}`")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +168,30 @@ mod tests {
         assert!(w.is_write() && !r.is_write());
         assert_eq!(r.addr(), Some(Addr(8)));
         assert_eq!(k.addr(), None);
+    }
+
+    #[test]
+    fn ops_use_externally_tagged_json() {
+        let r = Op::Read {
+            addr: Addr(256),
+            len: 8,
+        };
+        assert_eq!(r.to_json().to_string(), r#"{"Read":{"addr":256,"len":8}}"#);
+        let a = Op::Acquire { lock: LockId(0) };
+        assert_eq!(a.to_json().to_string(), r#"{"Acquire":{"lock":0}}"#);
+        for op in [
+            r,
+            a,
+            Op::Write {
+                addr: Addr(64),
+                len: 4,
+            },
+            Op::Release { lock: LockId(3) },
+            Op::Barrier { bar: BarrierId(1) },
+            Op::Work { cycles: 17 },
+        ] {
+            assert_eq!(Op::from_json(&op.to_json()).unwrap(), op);
+        }
+        assert!(Op::from_json(&JsonValue::parse(r#"{"Jump":{}}"#).unwrap()).is_err());
     }
 }

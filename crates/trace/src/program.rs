@@ -1,8 +1,7 @@
 //! A complete multithreaded program trace.
 
 use crate::op::Op;
-use rce_common::Addr;
-use serde::{Deserialize, Serialize};
+use rce_common::{impl_json_struct, Addr};
 
 /// A multithreaded program: one operation list per thread, plus the
 /// synchronization-object universe it uses.
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// produced by [`crate::workloads::WorkloadSpec::build`] or assembled
 /// by hand through [`crate::builder::Builder`]; either way they should
 /// satisfy [`crate::validate::validate`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// Human-readable workload name (figure row label).
     pub name: String,
@@ -27,6 +26,15 @@ pub struct Program {
     /// One past the last shared byte.
     pub shared_end: Addr,
 }
+
+impl_json_struct!(Program {
+    name,
+    threads,
+    n_locks,
+    n_barriers,
+    shared_base,
+    shared_end,
+});
 
 impl Program {
     /// Number of threads.

@@ -9,10 +9,9 @@
 
 use crate::op::Op;
 use crate::program::Program;
-use serde::{Deserialize, Serialize};
 
 /// Per-program region statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RegionStats {
     /// Total number of (dynamic) regions across all threads, counting
     /// only regions containing at least one memory operation.

@@ -29,7 +29,6 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::program::Program;
-use serde::{Deserialize, Serialize};
 
 mod blackscholes;
 mod bodytrack;
@@ -47,7 +46,7 @@ mod vips;
 mod x264;
 
 /// Identifies a workload generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum WorkloadSpec {
     Blackscholes,

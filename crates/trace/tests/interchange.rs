@@ -1,6 +1,7 @@
 //! Trace interchange: programs serialize to JSON and back without
 //! loss (the contract behind `tracegen dump` / `tracegen run`).
 
+use rce_common::json;
 use rce_trace::{validate, Program, WorkloadSpec};
 
 #[test]
@@ -10,8 +11,8 @@ fn every_workload_round_trips_through_json() {
         .chain(WorkloadSpec::MICRO.iter())
     {
         let p = w.build(4, 1, 42);
-        let json = serde_json::to_string(&p).expect("serialize");
-        let back: Program = serde_json::from_str(&json).expect("deserialize");
+        let text = json::to_string(&p);
+        let back: Program = json::from_str(&text).expect("deserialize");
         assert_eq!(p, back, "{w} did not round-trip");
         validate(&back).unwrap();
     }
@@ -21,8 +22,8 @@ fn every_workload_round_trips_through_json() {
 fn injected_races_survive_round_trip() {
     let mut p = WorkloadSpec::Blackscholes.build(4, 1, 7);
     let addrs = rce_trace::inject_races(&mut p, 3, 7);
-    let json = serde_json::to_string(&p).unwrap();
-    let back: Program = serde_json::from_str(&json).unwrap();
+    let text = json::to_string(&p);
+    let back: Program = json::from_str(&text).unwrap();
     assert_eq!(p, back);
     // The racy accesses are still in place.
     for a in addrs {
@@ -40,7 +41,7 @@ fn foreign_json_is_validated_not_trusted() {
     // A structurally broken program (unbalanced lock) deserializes
     // fine but must be rejected by validate() — the tracegen `run`
     // path depends on this.
-    let json = r#"{
+    let text = r#"{
         "name": "hostile",
         "threads": [[{"Acquire": {"lock": 0}}]],
         "n_locks": 1,
@@ -48,7 +49,7 @@ fn foreign_json_is_validated_not_trusted() {
         "shared_base": 268435456,
         "shared_end": 268435520
     }"#;
-    let p: Program = serde_json::from_str(json).expect("shape is valid JSON");
+    let p: Program = json::from_str(text).expect("shape is valid JSON");
     assert!(validate(&p).is_err(), "unbalanced lock must be rejected");
 }
 
@@ -57,7 +58,7 @@ fn compact_encoding_is_reasonable() {
     // Guard against accidental bloat in the interchange format: one
     // op should serialize to well under 100 bytes.
     let p = WorkloadSpec::Canneal.build(8, 1, 1);
-    let json = serde_json::to_string(&p).unwrap();
-    let per_op = json.len() as f64 / p.total_ops() as f64;
+    let text = json::to_string(&p);
+    let per_op = text.len() as f64 / p.total_ops() as f64;
     assert!(per_op < 100.0, "{per_op:.1} bytes/op is too fat");
 }

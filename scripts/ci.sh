@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Hermetic CI: format, build, test — all offline — plus a dependency
+# hygiene gate that fails if any non-workspace (non rce-*) dependency
+# reappears in a Cargo.toml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --workspace --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test --workspace -q --offline =="
+cargo test --workspace -q --offline
+
+echo "== dependency hygiene =="
+# Collect every dependency name declared in any Cargo.toml. Anything
+# that is not an in-tree rce-* path crate breaks hermeticity.
+bad=0
+for toml in Cargo.toml crates/*/Cargo.toml; do
+    deps=$(awk '
+        /^\[(workspace\.)?(dev-|build-)?dependencies\]/ { in_deps = 1; next }
+        /^\[/ { in_deps = 0 }
+        in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ { split($0, kv, /[ \t=]/); print kv[1] }
+    ' "$toml")
+    for dep in $deps; do
+        case "$dep" in
+        rce-*) ;;
+        *)
+            echo "FAIL: $toml declares non-workspace dependency '$dep'" >&2
+            bad=1
+            ;;
+        esac
+    done
+done
+if [ "$bad" -ne 0 ]; then
+    exit 1
+fi
+echo "ok: all dependencies are in-tree rce-* crates"
+
+echo "== ci passed =="

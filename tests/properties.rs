@@ -1,13 +1,18 @@
-//! Property-based tests (proptest) over cross-crate invariants.
+//! Property-based tests (in-tree `check` harness) over cross-crate
+//! invariants.
 
-use proptest::prelude::*;
 use rce::prelude::*;
-use rce_common::{LineGeometry, Rng as RceRng, SplitMix64};
+use rce_common::check::check_n;
+use rce_common::{prop_assert, prop_assert_eq, LineGeometry, Rng as RceRng, SplitMix64};
 use rce_trace::Builder;
 
-/// Strategy: a small random program description.
-fn program_strategy() -> impl Strategy<Value = (u64, usize, usize)> {
-    (0u64..u64::MAX, 2usize..5, 4usize..24)
+/// A small random program description: (seed, threads, ops/thread).
+fn gen_program_desc(rng: &mut SplitMix64) -> (u64, usize, usize) {
+    (
+        rng.next_u64(),
+        2 + rng.gen_range(3) as usize,
+        4 + rng.gen_range(20) as usize,
+    )
 }
 
 fn build_program(seed: u64, threads: usize, ops: usize) -> Program {
@@ -34,83 +39,139 @@ fn build_program(seed: u64, threads: usize, ops: usize) -> Program {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Generated programs are always structurally valid.
+#[test]
+fn generated_programs_validate() {
+    check_n(
+        "generated_programs_validate",
+        64,
+        gen_program_desc,
+        |&(seed, threads, ops)| {
+            let p = build_program(seed, threads, ops);
+            prop_assert!(rce::trace::validate(&p).is_ok());
+            Ok(())
+        },
+    );
+}
 
-    /// Generated programs are always structurally valid.
-    #[test]
-    fn generated_programs_validate((seed, threads, ops) in program_strategy()) {
-        let p = build_program(seed, threads, ops);
-        prop_assert!(rce::trace::validate(&p).is_ok());
-    }
+/// Every engine's exception set equals the oracle's, on arbitrary
+/// programs.
+#[test]
+fn engines_equal_oracle() {
+    check_n(
+        "engines_equal_oracle",
+        64,
+        gen_program_desc,
+        |&(seed, threads, ops)| {
+            let p = build_program(seed, threads, ops);
+            for proto in ProtocolKind::DETECTORS {
+                let cfg = MachineConfig::paper_default(threads, proto);
+                let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
+                prop_assert!(
+                    r.matches_oracle(),
+                    "{proto}: {} vs {}",
+                    r.exceptions.len(),
+                    r.oracle_conflicts.len()
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every engine's exception set equals the oracle's, on arbitrary
-    /// programs.
-    #[test]
-    fn engines_equal_oracle((seed, threads, ops) in program_strategy()) {
-        let p = build_program(seed, threads, ops);
-        for proto in ProtocolKind::DETECTORS {
-            let cfg = MachineConfig::paper_default(threads, proto);
+/// Simulations are deterministic functions of (program, config).
+#[test]
+fn simulation_deterministic() {
+    check_n(
+        "simulation_deterministic",
+        64,
+        gen_program_desc,
+        |&(seed, threads, ops)| {
+            let p = build_program(seed, threads, ops);
+            let cfg = MachineConfig::paper_default(threads, ProtocolKind::Arc);
+            let m = Machine::new(&cfg).unwrap();
+            let a = m.run(&p).unwrap();
+            let b = m.run(&p).unwrap();
+            prop_assert_eq!(a.cycles, b.cycles);
+            prop_assert_eq!(a.exceptions, b.exceptions);
+            Ok(())
+        },
+    );
+}
+
+/// The baseline never raises exceptions, whatever the program.
+#[test]
+fn baseline_never_raises() {
+    check_n(
+        "baseline_never_raises",
+        64,
+        gen_program_desc,
+        |&(seed, threads, ops)| {
+            let p = build_program(seed, threads, ops);
+            let cfg = MachineConfig::paper_default(threads, ProtocolKind::MesiBaseline);
             let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
-            prop_assert!(r.matches_oracle(), "{proto}: {} vs {}",
-                r.exceptions.len(), r.oracle_conflicts.len());
-        }
-    }
+            prop_assert!(r.exceptions.is_empty());
+            Ok(())
+        },
+    );
+}
 
-    /// Simulations are deterministic functions of (program, config).
-    #[test]
-    fn simulation_deterministic((seed, threads, ops) in program_strategy()) {
-        let p = build_program(seed, threads, ops);
-        let cfg = MachineConfig::paper_default(threads, ProtocolKind::Arc);
-        let m = Machine::new(&cfg).unwrap();
-        let a = m.run(&p).unwrap();
-        let b = m.run(&p).unwrap();
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.exceptions, b.exceptions);
-    }
+/// Exceptions always involve a write, two distinct cores, and a word
+/// inside the program's address space.
+#[test]
+fn exceptions_are_well_formed() {
+    check_n(
+        "exceptions_are_well_formed",
+        64,
+        gen_program_desc,
+        |&(seed, threads, ops)| {
+            let p = build_program(seed, threads, ops);
+            let cfg = MachineConfig::paper_default(threads, ProtocolKind::Ce);
+            let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
+            for ex in &r.exceptions {
+                prop_assert!(ex.involves_write());
+                prop_assert!(ex.a.core < ex.b.core);
+                prop_assert_eq!(ex.word_addr.0 % LineGeometry::WORD_BYTES, 0);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The baseline never raises exceptions, whatever the program.
-    #[test]
-    fn baseline_never_raises((seed, threads, ops) in program_strategy()) {
-        let p = build_program(seed, threads, ops);
-        let cfg = MachineConfig::paper_default(threads, ProtocolKind::MesiBaseline);
-        let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
-        prop_assert!(r.exceptions.is_empty());
-    }
+/// Mask span arithmetic: the mask covers exactly the bytes of the
+/// access.
+#[test]
+fn word_mask_span_covers_access() {
+    check_n(
+        "word_mask_span_covers_access",
+        64,
+        |rng: &mut SplitMix64| (rng.gen_range(1_000_000), 1 + rng.gen_range(63)),
+        |&(addr, len)| {
+            let a = rce::common::Addr(addr);
+            let line_end = (a.line().0 + 1) << LineGeometry::LINE_SHIFT;
+            let len = len.min(line_end - addr);
+            let mask = rce::common::WordMask::span(a, len);
+            // First and last byte's words are covered.
+            prop_assert!(mask.contains(a.word()));
+            let last = rce::common::Addr(addr + len - 1);
+            prop_assert!(mask.contains(last.word()));
+            prop_assert!(mask.count() as u64 <= len / 8 + 2);
+            Ok(())
+        },
+    );
+}
 
-    /// Exceptions always involve a write, two distinct cores, and a
-    /// word inside the program's address space.
-    #[test]
-    fn exceptions_are_well_formed((seed, threads, ops) in program_strategy()) {
-        let p = build_program(seed, threads, ops);
-        let cfg = MachineConfig::paper_default(threads, ProtocolKind::Ce);
-        let r = Machine::new(&cfg).unwrap().run(&p).unwrap();
-        for ex in &r.exceptions {
-            prop_assert!(ex.involves_write());
-            prop_assert!(ex.a.core < ex.b.core);
-            prop_assert_eq!(ex.word_addr.0 % LineGeometry::WORD_BYTES, 0);
-        }
-    }
-
-    /// Mask span arithmetic: the mask covers exactly the bytes of the
-    /// access.
-    #[test]
-    fn word_mask_span_covers_access(addr in 0u64..1_000_000, len in 1u64..64) {
-        let a = rce::common::Addr(addr);
-        let line_end = (a.line().0 + 1) << LineGeometry::LINE_SHIFT;
-        let len = len.min(line_end - addr);
-        let mask = rce::common::WordMask::span(a, len);
-        // First and last byte's words are covered.
-        prop_assert!(mask.contains(a.word()));
-        let last = rce::common::Addr(addr + len - 1);
-        prop_assert!(mask.contains(last.word()));
-        prop_assert!(mask.count() as u64 <= len / 8 + 2);
-    }
-
-    /// Workload generation is scale-monotone and deterministic.
-    #[test]
-    fn workloads_deterministic(seed in 0u64..1000) {
-        let w = WorkloadSpec::Dedup;
-        prop_assert_eq!(w.build(4, 1, seed), w.build(4, 1, seed));
-    }
+/// Workload generation is deterministic in the seed.
+#[test]
+fn workloads_deterministic() {
+    check_n(
+        "workloads_deterministic",
+        16,
+        |rng: &mut SplitMix64| rng.gen_range(1000),
+        |&seed| {
+            let w = WorkloadSpec::Dedup;
+            prop_assert_eq!(w.build(4, 1, seed), w.build(4, 1, seed));
+            Ok(())
+        },
+    );
 }
