@@ -4,20 +4,32 @@
 //! paper all                      # every experiment
 //! paper fig-runtime              # one experiment
 //! paper table2 --cores 16 --scale 2 --seed 7 --jobs 8
+//! paper trace ping_pong CE+      # one traced run -> Chrome trace JSON
 //! paper list                     # experiment catalog
 //! ```
 //!
 //! Each experiment prints its text table and writes machine-readable
-//! rows to `results/<id>.json` (used by EXPERIMENTS.md).
+//! rows to `results/<id>.json` (used by EXPERIMENTS.md). `trace` runs
+//! one simulation with full observability on and writes
+//! `results/trace-<workload>-<engine>.json` (Chrome `trace_event`
+//! format, loadable in Perfetto / `chrome://tracing`) plus a `.ndjson`
+//! event log, then re-runs with observability off and fails loudly if
+//! instrumentation perturbed the simulation.
 
-use rce_bench::{figures::base_sweep, Ablation, EvalParams, Experiment};
-use rce_common::json;
+use rce_bench::runner::run_one_cfg;
+use rce_bench::{
+    figures::{base_sweep, TIMELINE_INTERVAL},
+    profile, run_one_obs, Ablation, EvalParams, Experiment,
+};
+use rce_common::{json, MachineConfig, ObsConfig, ProtocolKind};
+use rce_trace::WorkloadSpec;
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
         "usage: paper <experiment|all|ablations|summary|list> [--cores N] [--scale N] [--seed N] \
-         [--jobs N] [--out DIR]\nexperiments: {}\nablations: {}",
+         [--jobs N] [--out DIR]\n       paper trace <workload> <engine> [--cores N] [--scale N] \
+         [--seed N] [--out DIR]\nexperiments: {}\nablations: {}\nengines: {}",
         Experiment::ALL
             .iter()
             .map(|e| e.name())
@@ -26,6 +38,11 @@ fn usage() -> ! {
         Ablation::ALL
             .iter()
             .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        ProtocolKind::ALL
+            .iter()
+            .map(|p| p.name())
             .collect::<Vec<_>>()
             .join(", ")
     );
@@ -40,7 +57,11 @@ fn main() {
     let command = args[0].clone();
     let mut params = EvalParams::default();
     let mut out_dir = "results".to_string();
-    let mut i = 1;
+    // `trace` takes two positional operands before the flags.
+    let mut i = if command == "trace" { 3 } else { 1 };
+    if command == "trace" && args.len() < 3 {
+        usage();
+    }
     while i < args.len() {
         let need_val = |i: usize| args.get(i + 1).unwrap_or_else(|| usage()).clone();
         match args[i].as_str() {
@@ -66,6 +87,11 @@ fn main() {
             }
             _ => usage(),
         }
+    }
+
+    if command == "trace" {
+        run_trace(&args[1], &args[2], &params, &out_dir);
+        return;
     }
 
     if command == "summary" {
@@ -102,14 +128,17 @@ fn main() {
     };
     if !ablations.is_empty() {
         std::fs::create_dir_all(&out_dir).expect("create results directory");
+        profile::enable();
         for a in ablations {
             eprintln!("== {} ==", a.name());
+            profile::set_phase(a.name());
             let start = std::time::Instant::now();
             let fig = a.run(&params);
             eprintln!("   done in {:.1}s", start.elapsed().as_secs_f64());
             println!("{}", fig.table);
             write_result(&out_dir, &fig, &params);
         }
+        eprintln!("{}", profile::render());
         return;
     }
 
@@ -123,6 +152,7 @@ fn main() {
     };
 
     std::fs::create_dir_all(&out_dir).expect("create results directory");
+    profile::enable();
     // The four per-workload figures share one sweep.
     let needs_sweep = experiments.iter().any(|e| {
         matches!(
@@ -138,6 +168,7 @@ fn main() {
             "running base sweep: 13 workloads x 4 designs at {} cores, scale {} ...",
             params.cores, params.scale
         );
+        profile::set_phase("base-sweep");
         Some(base_sweep(&params))
     } else {
         None
@@ -145,12 +176,94 @@ fn main() {
 
     for e in experiments {
         eprintln!("== {} ({}) ==", e.name(), e.run_description());
+        profile::set_phase(e.name());
         let start = std::time::Instant::now();
         let fig = e.run(&params, sweep.as_ref());
         eprintln!("   done in {:.1}s", start.elapsed().as_secs_f64());
         println!("{}", fig.table);
         write_result(&out_dir, &fig, &params);
     }
+    eprintln!("{}", profile::render());
+}
+
+/// `paper trace <workload> <engine>`: one fully-observed run.
+///
+/// Writes the Chrome `trace_event` export and an NDJSON event log to
+/// `<out>/trace-<workload>-<engine>.{json,ndjson}`, prints a summary
+/// of what the tracer captured, and then re-runs the same simulation
+/// with observability off — exiting nonzero if the two reports differ
+/// (the zero-perturbation contract of `rce_common::obs`).
+fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
+    let w = match WorkloadSpec::parse(workload) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown workload '{workload}'");
+            std::process::exit(2);
+        }
+    };
+    let p = match ProtocolKind::ALL
+        .iter()
+        .copied()
+        .find(|p| p.name().eq_ignore_ascii_case(engine))
+    {
+        Some(p) => p,
+        None => {
+            eprintln!("unknown engine '{engine}' (expected MESI, CE, CE+, or ARC)");
+            std::process::exit(2);
+        }
+    };
+    profile::enable();
+    profile::set_phase("trace");
+    let cfg = MachineConfig::paper_default(params.cores, p);
+    let r = run_one_obs(
+        w,
+        &cfg,
+        params.scale,
+        params.seed,
+        ObsConfig::full(TIMELINE_INTERVAL),
+    );
+    let log = r.trace.as_ref().expect("tracing was requested");
+    let timeline = r.timeline.as_ref().expect("sampling was requested");
+
+    std::fs::create_dir_all(out_dir).expect("create results directory");
+    let slug = p.name().replace('+', "plus").to_lowercase();
+    let base = format!("{out_dir}/trace-{}-{slug}", w.name());
+
+    let chrome = log.to_chrome_trace();
+    let chrome_text = json::to_string_pretty(&chrome);
+    // Self-check: what we hand to Perfetto must at least be JSON.
+    json::JsonValue::parse(&chrome_text).expect("emitted Chrome trace must parse");
+    std::fs::write(format!("{base}.json"), &chrome_text).expect("write Chrome trace");
+    std::fs::write(format!("{base}.ndjson"), log.to_ndjson()).expect("write NDJSON log");
+
+    eprintln!(
+        "traced {} on {}: {} events emitted, {} kept (capacity {}), {} dropped; \
+         {} timeline samples every {} cycles",
+        w.name(),
+        p.name(),
+        log.emitted,
+        log.events.len(),
+        log.capacity,
+        log.drops,
+        timeline.samples.len(),
+        timeline.interval,
+    );
+    eprintln!("   wrote {base}.json (Chrome trace_event; open in Perfetto)");
+    eprintln!("   wrote {base}.ndjson");
+
+    // Zero-perturbation check: strip the obs fields and compare with a
+    // plain run of the exact same simulation.
+    profile::set_phase("verify");
+    let mut stripped = r.clone();
+    stripped.timeline = None;
+    stripped.trace = None;
+    let plain = run_one_cfg(w, &cfg, params.scale, params.seed);
+    if json::to_string(&stripped) != json::to_string(&plain) {
+        eprintln!("ERROR: observability perturbed the simulation (reports differ)");
+        std::process::exit(1);
+    }
+    eprintln!("   verified: report is byte-identical with observability off");
+    eprintln!("{}", profile::render());
 }
 
 fn write_result(out_dir: &str, fig: &rce_bench::FigureOutput, params: &EvalParams) {
@@ -187,6 +300,7 @@ impl Describe for Experiment {
             Experiment::Table3 => "conflicts detected vs oracle",
             Experiment::FigSaturation => "NoC saturation vs core count",
             Experiment::FigSeeds => "seed sensitivity of headline geomeans",
+            Experiment::FigSaturationTimeline => "per-interval NoC utilization, CE+ vs ARC",
         }
     }
 }

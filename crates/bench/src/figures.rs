@@ -1,10 +1,12 @@
 //! Experiment implementations: one function per reconstructed table
 //! or figure (see DESIGN.md for the experiment index).
 
-use crate::runner::{run_one, run_one_cfg, run_suite, EvalParams, RunKey, SweepResults};
+use crate::runner::{
+    run_one, run_one_cfg, run_one_obs, run_suite, EvalParams, RunKey, SweepResults,
+};
 use rce_common::json;
 use rce_common::json::JsonValue as Value;
-use rce_common::{geomean, table::Table, MachineConfig, ProtocolKind};
+use rce_common::{geomean, table::Table, Histogram, MachineConfig, ObsConfig, ProtocolKind};
 use rce_core::SimReport;
 use rce_trace::{characterize, inject_races, WorkloadSpec};
 use std::collections::HashMap;
@@ -47,11 +49,13 @@ pub enum Experiment {
     FigSaturation,
     /// R-F8: seed sensitivity of the headline geomeans.
     FigSeeds,
+    /// R-F9: per-interval NoC utilization timeline (CE+ vs ARC).
+    FigSaturationTimeline,
 }
 
 impl Experiment {
     /// All experiments in presentation order.
-    pub const ALL: [Experiment; 11] = [
+    pub const ALL: [Experiment; 12] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::FigRuntime,
@@ -63,6 +67,7 @@ impl Experiment {
         Experiment::Table3,
         Experiment::FigSaturation,
         Experiment::FigSeeds,
+        Experiment::FigSaturationTimeline,
     ];
 
     /// CLI name.
@@ -79,6 +84,7 @@ impl Experiment {
             Experiment::Table3 => "table3",
             Experiment::FigSaturation => "fig-saturation",
             Experiment::FigSeeds => "fig-seeds",
+            Experiment::FigSaturationTimeline => "fig-saturation-timeline",
         }
     }
 
@@ -119,6 +125,7 @@ impl Experiment {
             Experiment::Table3 => table3(params),
             Experiment::FigSaturation => fig_saturation(params),
             Experiment::FigSeeds => fig_seeds(params),
+            Experiment::FigSaturationTimeline => fig_saturation_timeline(params),
         }
     }
 }
@@ -633,19 +640,29 @@ fn fig_saturation(params: &EvalParams) -> FigureOutput {
             "inv+ack MiB",
             "peak link util %",
             "mean queue delay (cyc)",
+            "qdelay p50/p95/p99 (cyc)",
         ],
     );
     let mut rows = Vec::new();
     for c in SCALING_CORES {
         for p in ProtocolKind::ALL {
             let (mut util, mut delay, mut bytes, mut inv) = (0.0f64, 0.0, 0u64, 0u64);
+            // A mean hides saturation onset; merge the per-message
+            // queue-delay histograms so the tail is visible too.
+            let mut qhist = Histogram::new();
             for w in SATURATION_WORKLOADS {
                 let r = get(&sweep, w, p, c);
                 util = util.max(r.noc.peak_link_utilization);
                 delay += r.noc.mean_queue_delay();
                 bytes += r.noc.total_bytes().0;
                 inv += r.noc.invalidation_bytes().0;
+                qhist.merge(&r.noc.queue_delay_hist);
             }
+            let (p50, p95, p99) = (
+                qhist.percentile(50.0),
+                qhist.percentile(95.0),
+                qhist.percentile(99.0),
+            );
             let n = SATURATION_WORKLOADS.len() as f64;
             let mib = |b: u64| b as f64 / (1 << 20) as f64;
             t.row(vec![
@@ -655,11 +672,14 @@ fn fig_saturation(params: &EvalParams) -> FigureOutput {
                 format!("{:.2}", mib(inv)),
                 format!("{:.1}", util * 100.0),
                 format!("{:.1}", delay / n),
+                format!("{p50}/{p95}/{p99}"),
             ]);
             rows.push(json!({
                 "cores": c, "design": p.name(),
                 "noc_bytes": bytes, "inv_ack_bytes": inv,
-                "peak_util": util, "mean_queue_delay": delay / n
+                "peak_util": util, "mean_queue_delay": delay / n,
+                "queue_delay_p50": p50, "queue_delay_p95": p95,
+                "queue_delay_p99": p99
             }));
         }
     }
@@ -668,6 +688,97 @@ fn fig_saturation(params: &EvalParams) -> FigureOutput {
         title: "NoC saturation",
         table: t.render(),
         json: json!({ "rows": rows }),
+    }
+}
+
+/// Metrics-sampling interval (cycles) for the R-F9 timeline and the
+/// `paper trace` subcommand.
+pub const TIMELINE_INTERVAL: u64 = 4096;
+
+/// At most this many timeline rows in the rendered text table (the
+/// JSON keeps every sample; long runs are strided for display).
+const TIMELINE_TABLE_ROWS: usize = 48;
+
+/// R-F9: per-interval NoC load on a saturating workload. Where R-F7
+/// reports end-of-run totals, this shows the *shape* over time: CE+'s
+/// eager invalidation storms spike per-interval link utilization and
+/// queue delay around conflicting phases, while ARC — which replaces
+/// invalidation traffic with self-invalidation at region boundaries —
+/// stays comparatively flat.
+fn fig_saturation_timeline(params: &EvalParams) -> FigureOutput {
+    const DESIGNS: [ProtocolKind; 2] = [ProtocolKind::CePlus, ProtocolKind::Arc];
+    let w = WorkloadSpec::FalseSharing;
+    let obs = ObsConfig {
+        trace: None,
+        sample_interval: Some(TIMELINE_INTERVAL),
+    };
+    let timelines: Vec<(ProtocolKind, rce_common::MetricsTimeline)> = DESIGNS
+        .iter()
+        .map(|&p| {
+            let cfg = MachineConfig::paper_default(params.cores, p);
+            let r = run_one_obs(w, &cfg, params.scale, params.seed, obs.clone());
+            (p, r.timeline.expect("sampling was requested"))
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "NoC utilization timeline on false_sharing (one row per sampling interval)",
+        &[
+            "cycle",
+            "CE+ peak util %",
+            "CE+ mean util %",
+            "CE+ qdelay (cyc)",
+            "ARC peak util %",
+            "ARC mean util %",
+            "ARC qdelay (cyc)",
+        ],
+    );
+    let n = timelines
+        .iter()
+        .map(|(_, tl)| tl.samples.len())
+        .max()
+        .unwrap_or(0);
+    let stride = n.div_ceil(TIMELINE_TABLE_ROWS).max(1);
+    for i in (0..n).step_by(stride) {
+        // Runs end at different cycles; label the row with whichever
+        // design still has a sample at this interval index.
+        let cycle = timelines
+            .iter()
+            .find_map(|(_, tl)| tl.samples.get(i).map(|s| s.cycle))
+            .unwrap_or(0);
+        let mut cells = vec![cycle.to_string()];
+        for (_, tl) in &timelines {
+            match tl.samples.get(i) {
+                Some(s) => {
+                    cells.push(format!("{:.1}", s.noc_peak_link_util * 100.0));
+                    cells.push(format!("{:.1}", s.noc_mean_link_util * 100.0));
+                    cells.push(s.noc_queue_delay.to_string());
+                }
+                None => cells.extend(["-".to_string(), "-".to_string(), "-".to_string()]),
+            }
+        }
+        t.row(cells);
+    }
+
+    let series: Vec<Value> = timelines
+        .iter()
+        .map(|(p, tl)| {
+            json!({
+                "design": p.name(),
+                "interval": tl.interval,
+                "samples": tl.samples,
+            })
+        })
+        .collect();
+    FigureOutput {
+        id: "R-F9",
+        title: "NoC saturation timeline (CE+ vs ARC)",
+        table: t.render(),
+        json: json!({
+            "workload": w.name(),
+            "interval": TIMELINE_INTERVAL,
+            "series": series
+        }),
     }
 }
 
@@ -793,6 +904,35 @@ mod tests {
         // Compact form round-trips too.
         let compact = json::to_string(&payload);
         assert_eq!(Value::parse(&compact).unwrap(), payload);
+    }
+
+    #[test]
+    fn saturation_timeline_covers_both_designs() {
+        let f = Experiment::FigSaturationTimeline.run(&tiny_params(), None);
+        assert_eq!(f.id, "R-F9");
+        assert!(f.table.contains("CE+ peak util %"));
+        assert!(f.table.contains("ARC peak util %"));
+        let series = f.json["series"].as_array().unwrap();
+        let designs: Vec<&str> = series
+            .iter()
+            .map(|s| s["design"].as_str().unwrap())
+            .collect();
+        assert_eq!(designs, ["CE+", "ARC"]);
+        for s in series {
+            assert_eq!(s["interval"].as_u64().unwrap(), TIMELINE_INTERVAL);
+            let samples = s["samples"].as_array().unwrap();
+            assert!(!samples.is_empty(), "{}: empty timeline", s["design"]);
+            let mut prev = 0u64;
+            for smp in samples {
+                let cycle = smp["cycle"].as_u64().unwrap();
+                assert!(cycle > prev, "sample cycles must be increasing");
+                prev = cycle;
+                for key in ["noc_peak_link_util", "noc_mean_link_util"] {
+                    let u = smp[key].as_f64().unwrap();
+                    assert!((0.0..=1.0).contains(&u), "{key} out of range: {u}");
+                }
+            }
+        }
     }
 
     #[test]

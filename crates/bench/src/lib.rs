@@ -19,10 +19,11 @@
 pub mod ablations;
 pub mod bencher;
 pub mod figures;
+pub mod profile;
 pub mod runner;
 pub mod summary;
 
 pub use ablations::Ablation;
 pub use bencher::Bencher;
 pub use figures::{Experiment, FigureOutput};
-pub use runner::{run_one, run_suite, EvalParams, RunKey, SweepResults};
+pub use runner::{run_one, run_one_obs, run_suite, EvalParams, RunKey, SweepResults};

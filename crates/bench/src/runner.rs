@@ -6,10 +6,11 @@
 //! returned [`SweepResults`] is always in cross-product order no
 //! matter how the OS schedules the workers.
 
-use rce_common::{MachineConfig, ProtocolKind};
+use rce_common::{MachineConfig, ObsConfig, ProtocolKind};
 use rce_core::{Machine, SimReport};
 use rce_trace::WorkloadSpec;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Evaluation parameters shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -125,11 +126,35 @@ pub fn run_one_cfg(
     scale: u32,
     seed: u64,
 ) -> SimReport {
+    run_one_obs(workload, cfg, scale, seed, ObsConfig::default())
+}
+
+/// Run one simulation with explicit configuration *and* observability
+/// (event trace and/or interval metrics timeline — see
+/// `rce_common::obs`). This is also the harness's profiling
+/// choke-point: every run's wall time and simulated work are recorded
+/// into the current [`crate::profile`] phase (a no-op unless profiling
+/// was enabled).
+pub fn run_one_obs(
+    workload: WorkloadSpec,
+    cfg: &MachineConfig,
+    scale: u32,
+    seed: u64,
+    obs: ObsConfig,
+) -> SimReport {
     let program = workload.build(cfg.cores, scale, seed);
-    Machine::new(cfg)
+    let t0 = Instant::now();
+    let report = Machine::new(cfg)
         .expect("paper_default configs are valid")
+        .with_observability(obs)
         .run(&program)
-        .expect("generated workloads are valid programs")
+        .expect("generated workloads are valid programs");
+    crate::profile::record_run(
+        t0.elapsed(),
+        report.mem_ops + report.sync_ops,
+        report.cycles.0,
+    );
+    report
 }
 
 /// Run a full sweep in parallel; returns reports in cross-product
@@ -265,6 +290,18 @@ mod tests {
         for (k, r) in &out {
             assert_eq!(r.cores, k.cores);
         }
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_simulation() {
+        let cfg = MachineConfig::paper_default(2, ProtocolKind::CePlus);
+        let plain = run_one_cfg(WorkloadSpec::PingPong, &cfg, 1, 3);
+        let obs = run_one_obs(WorkloadSpec::PingPong, &cfg, 1, 3, ObsConfig::full(256));
+        assert_eq!(plain.cycles, obs.cycles);
+        assert_eq!(plain.noc.total_bytes(), obs.noc.total_bytes());
+        assert_eq!(plain.exceptions.len(), obs.exceptions.len());
+        assert!(obs.trace.is_some() && obs.timeline.is_some());
+        assert!(plain.trace.is_none() && plain.timeline.is_none());
     }
 
     #[test]

@@ -91,6 +91,16 @@ impl Llc {
     pub fn is_empty(&self) -> bool {
         self.array.is_empty()
     }
+
+    /// Samplable gauge for the metrics timeline:
+    /// `(hits, misses, evictions)` so far.
+    pub fn gauges(&self) -> (u64, u64, u64) {
+        (
+            self.hits.get(),
+            self.misses.get(),
+            self.dirty_evictions.get() + self.clean_evictions.get(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //! statistics ([`stats`]), deterministic random number generation
 //! ([`rng`]), ASCII table rendering for the benchmark harness
 //! ([`table`]), the error/exception taxonomy ([`error`]), in-tree JSON
-//! serialization ([`json`]), and the property-test harness ([`check`]).
+//! serialization ([`json`]), the property-test harness ([`check`]),
+//! and the observability layer — event tracing and interval metrics —
+//! ([`obs`]).
 //!
 //! The workspace builds fully offline with zero third-party crates;
 //! [`json`] and [`check`] exist to keep it that way.
@@ -26,6 +28,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod json;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -39,6 +42,10 @@ pub use config::{
 pub use error::{RceError, RceResult};
 pub use ids::{BarrierId, CoreId, LockId, RegionId, ThreadId};
 pub use json::{FromJson, JsonValue, ToJson};
+pub use obs::{
+    EventClass, EventKind, GaugeSnapshot, IntervalSample, MetricsSampler, MetricsTimeline,
+    ObsConfig, SharedTracer, SimEvent, TraceConfig, TraceFilter, TraceLog, Tracer,
+};
 pub use rng::{Rng, SplitMix64};
 pub use stats::{geomean, Counter, Histogram, Summary};
 pub use units::{Bytes, Cycles, PicoJoules};

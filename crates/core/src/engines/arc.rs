@@ -33,6 +33,7 @@ use crate::engines::exceptions_from;
 use crate::exception::{AccessType, ConflictException, ConflictSide};
 use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::L1Cache;
+use rce_common::obs::{EventClass, EventKind, SimEvent};
 use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, WordMask};
 use rce_noc::MsgClass;
 use std::collections::{HashMap, HashSet};
@@ -111,6 +112,27 @@ impl ArcEngine {
     /// entry is usable.
     fn charge_aim(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
         let o = self.aim.ensure(line);
+        sub.trace(EventClass::Aim, || SimEvent {
+            cycle: t.0,
+            core: None,
+            region: None,
+            kind: if o.hit {
+                EventKind::AimHit { line: line.0 }
+            } else {
+                EventKind::AimMiss {
+                    line: line.0,
+                    refilled: o.refilled,
+                }
+            },
+        });
+        if o.spilled {
+            sub.trace(EventClass::Aim, || SimEvent {
+                cycle: t.0,
+                core: None,
+                region: None,
+                kind: EventKind::AimSpill { line: line.0 },
+            });
+        }
         let bank = sub.bank_node(line);
         let mem = sub.noc.mem_node(line);
         let mut ready = Cycles(t.0 + self.aim.latency);
@@ -253,6 +275,15 @@ impl ArcEngine {
     ) {
         let me = sub.core_node(core);
         if let Some((victim, vstate)) = self.l1[core.index()].fill(line, state) {
+            sub.trace(EventClass::Cache, || SimEvent {
+                cycle: at.0,
+                core: Some(core.0),
+                region: Some(sub.region_of(core).0),
+                kind: EventKind::L1Evict {
+                    line: victim.0,
+                    dirty: !vstate.dirty.is_empty(),
+                },
+            });
             let vbank = sub.bank_node(victim);
             if !vstate.dirty.is_empty() {
                 let bytes = sub.cfg.noc.data_header_bytes + 8 * vstate.dirty.count() as u64;
@@ -504,6 +535,16 @@ impl Engine for ArcEngine {
         //    line.
         let dropped = self.l1[core.index()].drain_filter(|_, st| st.shared && !st.ro);
         self.self_invalidated.add(dropped.len() as u64);
+        if !dropped.is_empty() {
+            sub.trace(EventClass::SelfInv, || SimEvent {
+                cycle: now.0,
+                core: Some(core.0),
+                region: Some(sub.region_of(core).0),
+                kind: EventKind::SelfInvalidate {
+                    lines: dropped.len() as u64,
+                },
+            });
+        }
         debug_assert!(
             dropped.iter().all(|(_, st)| st.dirty.is_empty()),
             "shared dirty words must have been flushed"

@@ -28,6 +28,7 @@ use crate::engines::exceptions_from;
 use crate::exception::{AccessType, ConflictSide};
 use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::{L1Cache, MesiState};
+use rce_common::obs::{EventClass, EventKind, SimEvent};
 use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, ProtocolKind, WordMask};
 use rce_dram::AccessKind as DramKind;
 use rce_noc::MsgClass;
@@ -179,6 +180,27 @@ impl MesiFamilyEngine {
             }
             Backend::Aim(aim) => {
                 let o = aim.ensure(line);
+                sub.trace(EventClass::Aim, || SimEvent {
+                    cycle: t.0,
+                    core: None,
+                    region: None,
+                    kind: if o.hit {
+                        EventKind::AimHit { line: line.0 }
+                    } else {
+                        EventKind::AimMiss {
+                            line: line.0,
+                            refilled: o.refilled,
+                        }
+                    },
+                });
+                if o.spilled {
+                    sub.trace(EventClass::Aim, || SimEvent {
+                        cycle: t.0,
+                        core: None,
+                        region: None,
+                        kind: EventKind::AimSpill { line: line.0 },
+                    });
+                }
                 let mut ready = Cycles(t.0 + aim.latency);
                 let mem = sub.noc.mem_node(line);
                 if o.refilled {
@@ -233,6 +255,27 @@ impl MesiFamilyEngine {
                 let bank = sub.bank_node(line);
                 let t1 = sub.noc.send(src, bank, 16, MsgClass::Metadata, at);
                 let o = aim.ensure(line);
+                sub.trace(EventClass::Aim, || SimEvent {
+                    cycle: at.0,
+                    core: None,
+                    region: None,
+                    kind: if o.hit {
+                        EventKind::AimHit { line: line.0 }
+                    } else {
+                        EventKind::AimMiss {
+                            line: line.0,
+                            refilled: o.refilled,
+                        }
+                    },
+                });
+                if o.spilled {
+                    sub.trace(EventClass::Aim, || SimEvent {
+                        cycle: at.0,
+                        core: None,
+                        region: None,
+                        kind: EventKind::AimSpill { line: line.0 },
+                    });
+                }
                 if o.spilled {
                     let mem = sub.noc.mem_node(line);
                     let t2 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t1);
@@ -298,6 +341,15 @@ impl MesiFamilyEngine {
     ) {
         let me = sub.core_node(core);
         if let Some((victim, vstate)) = self.l1[core.index()].fill(line, state) {
+            sub.trace(EventClass::Cache, || SimEvent {
+                cycle: at.0,
+                core: Some(core.0),
+                region: Some(sub.region_of(core).0),
+                kind: EventKind::L1Evict {
+                    line: victim.0,
+                    dirty: vstate.dirty,
+                },
+            });
             let vbank = sub.bank_node(victim);
             // Eviction notice keeps the directory exact.
             let notice_at = sub

@@ -15,6 +15,10 @@ use crate::oracle::Oracle;
 use crate::protocol::{Engine, Substrate};
 use crate::report::{AimSummary, SimReport};
 use crate::sync::{AcquireOutcome, BarrierManager, BarrierOutcome, LockManager};
+use rce_common::obs::{
+    shared_tracer, EventClass, EventKind, GaugeSnapshot, MetricsSampler, ObsConfig, SimEvent,
+    TraceConfig, Tracer,
+};
 use rce_common::{CoreId, Cycles, MachineConfig, RceError, RceResult, WordMask};
 use rce_energy::{EnergyModel, EventCounts};
 use rce_trace::{Op, Program};
@@ -56,6 +60,33 @@ pub struct Machine {
     cfg: MachineConfig,
     energy_model: EnergyModel,
     step_limit: Option<u64>,
+    obs: ObsConfig,
+}
+
+/// Read every cumulative gauge the interval sampler differences.
+fn gauges(sub: &Substrate, engine: &dyn Engine, exceptions: u64) -> GaugeSnapshot {
+    let noc = sub.noc.stats();
+    let dram = sub.dram.stats();
+    let (aim_hits, aim_misses) = engine
+        .aim_totals()
+        .map(|(_, h, m, _)| (h, m))
+        .unwrap_or((0, 0));
+    let (_, llc_misses, _) = sub.llc.gauges();
+    let (_, _, l1_evictions) = engine.l1_totals();
+    GaugeSnapshot {
+        noc_msgs: noc.total_msgs(),
+        noc_bytes: noc.total_bytes().0,
+        noc_queue_delay: noc.total_queue_delay.get(),
+        link_busy: sub.noc.link_busy_cycles(),
+        dram_accesses: dram.total_accesses(),
+        dram_bytes: dram.total_bytes().0,
+        dram_queue_delay: dram.total_queue_delay.get(),
+        aim_hits,
+        aim_misses,
+        llc_misses,
+        l1_evictions,
+        exceptions,
+    }
 }
 
 impl Machine {
@@ -66,7 +97,16 @@ impl Machine {
             cfg: cfg.clone(),
             energy_model: EnergyModel::default(),
             step_limit: None,
+            obs: ObsConfig::default(),
         })
+    }
+
+    /// Enable observability (event tracing and/or interval metrics)
+    /// for subsequent runs. The default is fully off, and off-mode
+    /// reports are byte-identical to builds without the subsystem.
+    pub fn with_observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Override the energy model.
@@ -126,11 +166,33 @@ impl Machine {
         let mut exceptions: Vec<ConflictException> = Vec::new();
         let mut seen = HashSet::new();
         let mut aborted = false;
-        // Debug aid: RCE_TRACE_WORD=<word-index> prints every access
-        // to that word.
-        let trace_word: Option<u64> = std::env::var("RCE_TRACE_WORD")
-            .ok()
-            .and_then(|w| w.parse().ok());
+        // Observability: explicit config wins; otherwise the legacy
+        // RCE_TRACE_WORD=<word-index> env var acts as a filter alias
+        // (echoing accesses to that word, as the old eprintln did).
+        let mut obs = self.obs.clone();
+        if obs.trace.is_none() {
+            if let Some(w) = std::env::var("RCE_TRACE_WORD")
+                .ok()
+                .and_then(|w| w.parse().ok())
+            {
+                obs.trace = Some(TraceConfig::word_alias(w));
+            }
+        }
+        let tracer = obs.trace.map(|tc| shared_tracer(Tracer::new(tc)));
+        if let Some(t) = &tracer {
+            sub.attach_tracer(t.clone());
+            // Every core's first region opens at t=0.
+            for c in 0..n {
+                let core = CoreId(c as u16);
+                sub.trace(EventClass::Region, || SimEvent {
+                    cycle: 0,
+                    core: Some(core.0),
+                    region: Some(sub.region_of(core).0),
+                    kind: EventKind::RegionBegin,
+                });
+            }
+        }
+        let mut sampler = obs.sample_interval.map(MetricsSampler::new);
 
         let limit = self
             .step_limit
@@ -151,6 +213,7 @@ impl Machine {
             region_len: &mut rce_common::Histogram,
             boundary_cost: &mut rce_common::Histogram,
         ) -> Cycles {
+            let old_region = sub.region_of(core);
             let b = engine.region_boundary(sub, core, now);
             let new_region = sub.advance_region(core);
             oracle.region_boundary(core, new_region);
@@ -161,6 +224,20 @@ impl Machine {
             }
             let done = b.done.max(now);
             boundary_cost.record(done.0 - now.0);
+            sub.trace(EventClass::Region, || SimEvent {
+                cycle: done.0,
+                core: Some(core.0),
+                region: Some(old_region.0),
+                kind: EventKind::RegionEnd {
+                    cost: done.0 - now.0,
+                },
+            });
+            sub.trace(EventClass::Region, || SimEvent {
+                cycle: done.0,
+                core: Some(core.0),
+                region: Some(new_region.0),
+                kind: EventKind::RegionBegin,
+            });
             done
         }
 
@@ -186,6 +263,12 @@ impl Machine {
             };
             let core = CoreId(c as u16);
             let now = clock[c];
+
+            if let Some(s) = &mut sampler {
+                if s.due(now.0) {
+                    s.tick(now.0, gauges(&sub, &*engine, exceptions.len() as u64));
+                }
+            }
 
             // Thread finished?
             if cursor[c] >= program.threads[c].len() {
@@ -224,17 +307,16 @@ impl Machine {
                     let mask = WordMask::span(addr, len as u64);
                     let res = engine.access(&mut sub, core, addr, mask, kind, now);
                     let dmask = self.cfg.detect_mask(mask);
-                    if trace_word == Some(addr.0 / 8) {
-                        eprintln!(
-                            "TRACE t={} {} {:?} word {} region {} -> ex={}",
-                            now.0,
-                            core,
-                            kind,
-                            addr.0 / 8,
-                            sub.region_of(core),
-                            res.exceptions.len()
-                        );
-                    }
+                    sub.trace(EventClass::Access, || SimEvent {
+                        cycle: now.0,
+                        core: Some(core.0),
+                        region: Some(sub.region_of(core).0),
+                        kind: EventKind::MemAccess {
+                            addr: addr.0,
+                            write: kind == AccessType::Write,
+                            exceptions: res.exceptions.len() as u64,
+                        },
+                    });
                     // Oracle sees the same committed access, word by
                     // word, at the configured detection granularity.
                     let line = addr.line();
@@ -243,6 +325,29 @@ impl Machine {
                     }
                     for ex in res.exceptions {
                         if seen.insert(ex.key()) {
+                            sub.trace(EventClass::Conflict, || {
+                                let letter =
+                                    |k: AccessType| if k == AccessType::Write { "W" } else { "R" };
+                                let other = if ex.a.core == core {
+                                    ex.b.core
+                                } else {
+                                    ex.a.core
+                                };
+                                SimEvent {
+                                    cycle: now.0,
+                                    core: Some(core.0),
+                                    region: Some(sub.region_of(core).0),
+                                    kind: EventKind::Conflict {
+                                        word: ex.word_addr.0 / 8,
+                                        other_core: other.0 as u64,
+                                        kinds: format!(
+                                            "{}/{}",
+                                            letter(ex.a.kind),
+                                            letter(ex.b.kind)
+                                        ),
+                                    },
+                                }
+                            });
                             exceptions.push(ex);
                             if policy == ExceptionPolicy::AbortOnFirst {
                                 clock[c] = res.done.max(Cycles(now.0 + 1));
@@ -333,6 +438,12 @@ impl Machine {
         sub.noc.finalize(end);
         sub.dram.finalize(end);
 
+        // Close out the observability layers. The tracer is drained
+        // (not unwrapped) because the NoC and DRAM still hold clones.
+        let timeline =
+            sampler.map(|s| s.finish(end.0, gauges(&sub, &*engine, exceptions.len() as u64)));
+        let trace = tracer.map(|t| t.borrow_mut().take_log());
+
         let (l1_hits, l1_misses, l1_evictions) = engine.l1_totals();
         let aim = engine.aim_totals().map(|(a, h, m, s)| AimSummary {
             accesses: a,
@@ -383,6 +494,8 @@ impl Machine {
             exceptions,
             oracle_conflicts: oracle.conflicts(),
             aborted,
+            timeline,
+            trace,
         })
     }
 }
@@ -569,6 +682,113 @@ mod tests {
         assert_eq!(r.l1_hits + r.l1_misses, r.mem_ops);
         assert!(r.energy_total().0 > 0.0);
         assert!(r.aim.is_some());
+    }
+
+    #[test]
+    fn observability_off_report_is_byte_identical() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::CePlus);
+        let p = WorkloadSpec::FalseSharing.build(4, 1, 42);
+        let plain = Machine::new(&cfg).unwrap().run(&p).unwrap();
+        let observed = Machine::new(&cfg)
+            .unwrap()
+            .with_observability(ObsConfig::full(1000))
+            .run(&p)
+            .unwrap();
+        assert!(observed.timeline.is_some());
+        assert!(observed.trace.is_some());
+        // Observability must not perturb the simulation: stripping the
+        // obs fields yields the exact bytes of the plain run.
+        let mut stripped = observed.clone();
+        stripped.timeline = None;
+        stripped.trace = None;
+        assert_eq!(
+            rce_common::json::to_string(&plain),
+            rce_common::json::to_string(&stripped)
+        );
+        // And the off-mode report carries no trace of the subsystem.
+        let off = rce_common::json::to_string(&plain);
+        assert!(!off.contains("\"timeline\""));
+        assert!(!off.contains("\"trace\""));
+    }
+
+    #[test]
+    fn timeline_is_deterministic_and_covers_the_run() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::Arc);
+        let m = || {
+            Machine::new(&cfg).unwrap().with_observability(ObsConfig {
+                trace: None,
+                sample_interval: Some(512),
+            })
+        };
+        let p = WorkloadSpec::Canneal.build(4, 1, 7);
+        let a = m().run(&p).unwrap();
+        let b = m().run(&p).unwrap();
+        let ta = a.timeline.expect("sampling was on");
+        let tb = b.timeline.expect("sampling was on");
+        assert_eq!(
+            rce_common::json::to_string(&ta),
+            rce_common::json::to_string(&tb),
+            "same seed + config must give byte-identical timeline JSON"
+        );
+        assert_eq!(ta.samples.last().unwrap().cycle, a.cycles.0);
+        assert!(ta.samples.iter().any(|s| s.noc_msgs > 0));
+        // Cumulative deltas reconstruct the end-of-run totals.
+        let msgs: u64 = ta.samples.iter().map(|s| s.noc_msgs).sum();
+        assert_eq!(msgs, a.noc.total_msgs());
+    }
+
+    #[test]
+    fn tracer_overflow_is_surfaced_in_the_report() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::Ce);
+        let obs = ObsConfig {
+            trace: Some(TraceConfig {
+                capacity: 8,
+                ..TraceConfig::default()
+            }),
+            sample_interval: None,
+        };
+        let p = WorkloadSpec::Canneal.build(4, 1, 7);
+        let r = Machine::new(&cfg)
+            .unwrap()
+            .with_observability(obs)
+            .run(&p)
+            .unwrap();
+        let log = r.trace.expect("tracing was on");
+        assert_eq!(log.events.len(), 8, "ring keeps exactly its capacity");
+        assert!(log.emitted > 8);
+        assert_eq!(log.drops, log.emitted - 8, "drops are never silent");
+    }
+
+    #[test]
+    fn traced_run_records_region_structure() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::CePlus);
+        let p = WorkloadSpec::PingPong.build(4, 1, 3);
+        let r = Machine::new(&cfg)
+            .unwrap()
+            .with_observability(ObsConfig::full(4096))
+            .run(&p)
+            .unwrap();
+        let log = r.trace.expect("tracing was on");
+        let begins = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RegionBegin))
+            .count();
+        let ends = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RegionEnd { .. }))
+            .count();
+        assert_eq!(ends as u64, r.regions, "one end event per region");
+        // 4 initial begins at t=0, plus one per boundary.
+        assert_eq!(begins, ends + 4);
+        // Every traced event carries a usable timestamp.
+        assert!(log.events.iter().all(|e| e.cycle <= r.cycles.0));
+        // Accesses were traced with provenance.
+        assert!(log
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MemAccess { .. }) && e.core.is_some()));
     }
 
     #[test]

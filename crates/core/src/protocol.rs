@@ -9,6 +9,7 @@
 
 use crate::exception::ConflictException;
 use rce_cache::{Directory, Llc};
+use rce_common::obs::{EventClass, SharedTracer, SimEvent};
 use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, RegionId, WordMask};
 use rce_dram::{AccessKind as DramKind, Dram};
 use rce_noc::{MsgClass, Noc, NodeId};
@@ -45,6 +46,9 @@ pub struct Substrate {
     pub llc_accesses: Counter,
     /// Directory accesses (energy).
     pub dir_accesses: Counter,
+    /// Event tracer, when observability is on. `None` costs one branch
+    /// per emission site (the zero-overhead-when-off contract).
+    pub tracer: Option<SharedTracer>,
     next_region: u64,
 }
 
@@ -60,6 +64,7 @@ impl Substrate {
             regions: Vec::with_capacity(cfg.cores),
             llc_accesses: Counter::default(),
             dir_accesses: Counter::default(),
+            tracer: None,
             next_region: 0,
         };
         for _ in 0..cfg.cores {
@@ -67,6 +72,26 @@ impl Substrate {
             s.regions.push(r);
         }
         s
+    }
+
+    /// Attach an event tracer, shared with the NoC and DRAM so all
+    /// layers feed one ring.
+    pub fn attach_tracer(&mut self, t: SharedTracer) {
+        self.noc.attach_tracer(t.clone());
+        self.dram.attach_tracer(t.clone());
+        self.tracer = Some(t);
+    }
+
+    /// Emit a trace event; the event is only *built* (the closure only
+    /// runs) if a tracer is attached and wants `class`.
+    #[inline]
+    pub fn trace(&self, class: EventClass, build: impl FnOnce() -> SimEvent) {
+        if let Some(tr) = &self.tracer {
+            let mut tr = tr.borrow_mut();
+            if tr.wants(class) {
+                tr.emit(build());
+            }
+        }
     }
 
     fn fresh_region(&mut self) -> RegionId {
@@ -145,6 +170,15 @@ impl Substrate {
                 );
                 let _ = self.dram.access(victim, 64, DramKind::DataWrite, at);
             }
+            self.trace(EventClass::Cache, || SimEvent {
+                cycle: back.0,
+                core: None,
+                region: None,
+                kind: rce_common::obs::EventKind::LlcEvict {
+                    line: victim.0,
+                    dirty: state.dirty,
+                },
+            });
         }
         back
     }
@@ -169,6 +203,15 @@ impl Substrate {
                 );
                 let _ = self.dram.access(victim, 64, DramKind::DataWrite, at);
             }
+            self.trace(EventClass::Cache, || SimEvent {
+                cycle: now.0,
+                core: None,
+                region: None,
+                kind: rce_common::obs::EventKind::LlcEvict {
+                    line: victim.0,
+                    dirty: state.dirty,
+                },
+            });
         }
         Cycles(now.0 + self.cfg.llc.latency)
     }

@@ -1,6 +1,8 @@
 //! Simulation reports and cross-design normalization.
 
 use crate::exception::ConflictException;
+use rce_common::json::{FromJson, JsonValue, ToJson};
+use rce_common::obs::{MetricsTimeline, TraceLog};
 use rce_common::{impl_json_struct, Bytes, Cycles, PicoJoules, ProtocolKind};
 use rce_dram::DramStats;
 use rce_energy::EnergyBreakdown;
@@ -111,34 +113,98 @@ pub struct SimReport {
     /// True if the run stopped at the first exception
     /// (`ExceptionPolicy::AbortOnFirst`).
     pub aborted: bool,
+    /// Interval metrics timeline (observability runs only).
+    pub timeline: Option<MetricsTimeline>,
+    /// Event trace (observability runs only).
+    pub trace: Option<TraceLog>,
 }
 
-impl_json_struct!(SimReport {
-    protocol,
-    workload,
-    cores,
-    cycles,
-    mem_ops,
-    sync_ops,
-    regions,
-    l1_hits,
-    l1_misses,
-    l1_evictions,
-    llc_hits,
-    llc_misses,
-    noc,
-    dram,
-    aim,
-    energy,
-    engine_counters,
-    access_latency,
-    region_len,
-    boundary_cost,
-    per_core,
-    exceptions,
-    oracle_conflicts,
-    aborted,
-});
+// Hand-written (not `impl_json_struct!`) for one reason: the
+// observability fields must be *omitted* — not `null` — when absent,
+// so a report produced with observability off serializes byte-for-byte
+// the same as before the fields existed.
+impl ToJson for SimReport {
+    fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("protocol".to_string(), self.protocol.to_json()),
+            ("workload".to_string(), self.workload.to_json()),
+            ("cores".to_string(), self.cores.to_json()),
+            ("cycles".to_string(), self.cycles.to_json()),
+            ("mem_ops".to_string(), self.mem_ops.to_json()),
+            ("sync_ops".to_string(), self.sync_ops.to_json()),
+            ("regions".to_string(), self.regions.to_json()),
+            ("l1_hits".to_string(), self.l1_hits.to_json()),
+            ("l1_misses".to_string(), self.l1_misses.to_json()),
+            ("l1_evictions".to_string(), self.l1_evictions.to_json()),
+            ("llc_hits".to_string(), self.llc_hits.to_json()),
+            ("llc_misses".to_string(), self.llc_misses.to_json()),
+            ("noc".to_string(), self.noc.to_json()),
+            ("dram".to_string(), self.dram.to_json()),
+            ("aim".to_string(), self.aim.to_json()),
+            ("energy".to_string(), self.energy.to_json()),
+            (
+                "engine_counters".to_string(),
+                self.engine_counters.to_json(),
+            ),
+            ("access_latency".to_string(), self.access_latency.to_json()),
+            ("region_len".to_string(), self.region_len.to_json()),
+            ("boundary_cost".to_string(), self.boundary_cost.to_json()),
+            ("per_core".to_string(), self.per_core.to_json()),
+            ("exceptions".to_string(), self.exceptions.to_json()),
+            (
+                "oracle_conflicts".to_string(),
+                self.oracle_conflicts.to_json(),
+            ),
+            ("aborted".to_string(), self.aborted.to_json()),
+        ];
+        if let Some(t) = &self.timeline {
+            fields.push(("timeline".to_string(), t.to_json()));
+        }
+        if let Some(t) = &self.trace {
+            fields.push(("trace".to_string(), t.to_json()));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+impl FromJson for SimReport {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        fn opt<T: FromJson>(v: &JsonValue, key: &str) -> Result<Option<T>, String> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => Ok(Some(T::from_json(x)?)),
+            }
+        }
+        Ok(SimReport {
+            protocol: FromJson::from_json(v.field("protocol")?)?,
+            workload: FromJson::from_json(v.field("workload")?)?,
+            cores: FromJson::from_json(v.field("cores")?)?,
+            cycles: FromJson::from_json(v.field("cycles")?)?,
+            mem_ops: FromJson::from_json(v.field("mem_ops")?)?,
+            sync_ops: FromJson::from_json(v.field("sync_ops")?)?,
+            regions: FromJson::from_json(v.field("regions")?)?,
+            l1_hits: FromJson::from_json(v.field("l1_hits")?)?,
+            l1_misses: FromJson::from_json(v.field("l1_misses")?)?,
+            l1_evictions: FromJson::from_json(v.field("l1_evictions")?)?,
+            llc_hits: FromJson::from_json(v.field("llc_hits")?)?,
+            llc_misses: FromJson::from_json(v.field("llc_misses")?)?,
+            noc: FromJson::from_json(v.field("noc")?)?,
+            dram: FromJson::from_json(v.field("dram")?)?,
+            aim: FromJson::from_json(v.field("aim")?)?,
+            energy: FromJson::from_json(v.field("energy")?)?,
+            engine_counters: FromJson::from_json(v.field("engine_counters")?)?,
+            access_latency: FromJson::from_json(v.field("access_latency")?)?,
+            region_len: FromJson::from_json(v.field("region_len")?)?,
+            boundary_cost: FromJson::from_json(v.field("boundary_cost")?)?,
+            per_core: FromJson::from_json(v.field("per_core")?)?,
+            exceptions: FromJson::from_json(v.field("exceptions")?)?,
+            oracle_conflicts: FromJson::from_json(v.field("oracle_conflicts")?)?,
+            aborted: FromJson::from_json(v.field("aborted")?)?,
+            timeline: opt(v, "timeline")?,
+            trace: opt(v, "trace")?,
+        })
+    }
+}
 
 impl SimReport {
     /// Total on-chip traffic.
@@ -276,7 +342,35 @@ mod tests {
             exceptions: vec![],
             oracle_conflicts: vec![],
             aborted: false,
+            timeline: None,
+            trace: None,
         }
+    }
+
+    #[test]
+    fn obs_fields_roundtrip_and_are_omitted_when_absent() {
+        let plain = dummy(ProtocolKind::Ce, 10);
+        let j = rce_common::json::to_string(&plain);
+        assert!(!j.contains("\"timeline\""));
+        assert!(!j.contains("\"trace\""));
+        let back: SimReport = rce_common::json::from_str(&j).unwrap();
+        assert!(back.timeline.is_none() && back.trace.is_none());
+
+        let mut obs = dummy(ProtocolKind::Ce, 10);
+        obs.timeline = Some(MetricsTimeline {
+            interval: 8,
+            samples: vec![],
+        });
+        obs.trace = Some(TraceLog {
+            capacity: 4,
+            emitted: 9,
+            drops: 5,
+            events: vec![],
+        });
+        let j2 = rce_common::json::to_string(&obs);
+        let back: SimReport = rce_common::json::from_str(&j2).unwrap();
+        assert_eq!(back.timeline.unwrap().interval, 8);
+        assert_eq!(back.trace.unwrap().drops, 5);
     }
 
     #[test]

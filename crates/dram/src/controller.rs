@@ -1,6 +1,7 @@
 //! The memory controller: channels, banks, row buffers, service.
 
 use crate::stats::DramStats;
+use rce_common::obs::{EventClass, EventKind, SharedTracer, SimEvent};
 use rce_common::{impl_json_unit_enum, Bytes, Cycles, DramConfig, LineAddr};
 
 /// What an access is for — program data or conflict metadata.
@@ -79,6 +80,7 @@ pub struct Dram {
     banks: Vec<Bank>,
     channels: Vec<Channel>,
     stats: DramStats,
+    trace: Option<SharedTracer>,
 }
 
 impl Dram {
@@ -90,7 +92,14 @@ impl Dram {
             banks: vec![Bank::default(); n_banks],
             channels: vec![Channel::default(); cfg.channels as usize],
             stats: DramStats::default(),
+            trace: None,
         }
+    }
+
+    /// Attach an event tracer; every access emits a
+    /// [`EventKind::DramAccess`] event into it.
+    pub fn attach_tracer(&mut self, t: SharedTracer) {
+        self.trace = Some(t);
     }
 
     fn channel_of(&self, line: LineAddr) -> usize {
@@ -142,6 +151,21 @@ impl Dram {
         bank.open_row = Some(row);
 
         self.stats.record(kind, bytes, row_hit, queue_delay);
+        if let Some(tr) = &self.trace {
+            let mut tr = tr.borrow_mut();
+            if tr.wants(EventClass::Dram) {
+                tr.emit(SimEvent {
+                    cycle: now.0,
+                    core: None,
+                    region: None,
+                    kind: EventKind::DramAccess {
+                        kind: kind.name().to_string(),
+                        line: line.0,
+                        bytes,
+                    },
+                });
+            }
+        }
         Cycles(done)
     }
 
@@ -237,6 +261,25 @@ mod tests {
         let s = d.stats();
         assert!(s.peak_channel_utilization > 0.0);
         assert!(s.peak_channel_utilization <= 1.0);
+    }
+
+    #[test]
+    fn tracer_sees_accesses() {
+        use rce_common::obs::{shared_tracer, TraceConfig, Tracer};
+        let mut d = dram();
+        let tr = shared_tracer(Tracer::new(TraceConfig::default()));
+        d.attach_tracer(tr.clone());
+        d.access(LineAddr(9), 64, AccessKind::DataRead, Cycles(3));
+        d.access(LineAddr(9), 16, AccessKind::MetaWrite, Cycles(50));
+        let log = tr.borrow_mut().take_log();
+        assert_eq!(log.events.len(), 2);
+        match &log.events[1].kind {
+            EventKind::DramAccess { kind, line, bytes } => {
+                assert_eq!(kind, "meta-wr");
+                assert_eq!((*line, *bytes), (9, 16));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::mesh::{Mesh, NodeId};
 use crate::stats::NocStats;
+use rce_common::obs::{EventClass, EventKind, SharedTracer, SimEvent};
 use rce_common::{impl_json_unit_enum, Bytes, CoreId, Cycles, LineAddr, NocConfig};
 
 /// Message classes, accounted separately.
@@ -91,6 +92,7 @@ pub struct Noc {
     mesh: Mesh,
     links: Vec<Link>,
     stats: NocStats,
+    trace: Option<SharedTracer>,
 }
 
 impl Noc {
@@ -103,7 +105,14 @@ impl Noc {
             mesh,
             links,
             stats: NocStats::default(),
+            trace: None,
         }
+    }
+
+    /// Attach an event tracer; every routed message emits a
+    /// [`EventKind::CohMsg`] event into it.
+    pub fn attach_tracer(&mut self, t: SharedTracer) {
+        self.trace = Some(t);
     }
 
     /// The underlying mesh (for topology queries).
@@ -170,6 +179,22 @@ impl Noc {
         let arrival = t + service; // tail arrives after final serialization
         self.stats
             .record_msg(class, wire_bytes, flits * hops, hops, queue_delay);
+        if let Some(tr) = &self.trace {
+            let mut tr = tr.borrow_mut();
+            if tr.wants(EventClass::Coherence) {
+                tr.emit(SimEvent {
+                    cycle: now.0,
+                    core: None,
+                    region: None,
+                    kind: EventKind::CohMsg {
+                        class: class.name().to_string(),
+                        src: src.0 as u64,
+                        dst: dst.0 as u64,
+                        bytes: wire_bytes,
+                    },
+                });
+            }
+        }
         Cycles(arrival)
     }
 
@@ -217,6 +242,12 @@ impl Noc {
     /// Accumulated statistics.
     pub fn stats(&self) -> &NocStats {
         &self.stats
+    }
+
+    /// Cumulative busy cycles per link — a samplable gauge for the
+    /// interval metrics timeline.
+    pub fn link_busy_cycles(&self) -> Vec<u64> {
+        self.links.iter().map(|l| l.busy_cycles).collect()
     }
 
     /// Total bytes injected (all classes).
@@ -320,6 +351,37 @@ mod tests {
         let mut n = noc16();
         n.send(NodeId(0), NodeId(3), 16, MsgClass::Data, Cycles(0)); // 3 hops, 1 flit
         assert_eq!(n.stats().flit_hops.get(), 3);
+    }
+
+    #[test]
+    fn tracer_sees_routed_messages_only() {
+        use rce_common::obs::{shared_tracer, TraceConfig, Tracer};
+        let mut n = noc16();
+        let tr = shared_tracer(Tracer::new(TraceConfig::default()));
+        n.attach_tracer(tr.clone());
+        n.send(NodeId(0), NodeId(0), 64, MsgClass::Data, Cycles(0)); // local: no event
+        n.send(NodeId(0), NodeId(5), 64, MsgClass::Data, Cycles(7));
+        let log = tr.borrow_mut().take_log();
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].cycle, 7);
+        match &log.events[0].kind {
+            EventKind::CohMsg {
+                class, src, dst, ..
+            } => {
+                assert_eq!(class, "data");
+                assert_eq!((*src, *dst), (0, 5));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_busy_gauge_accumulates() {
+        let mut n = noc16();
+        assert!(n.link_busy_cycles().iter().all(|&b| b == 0));
+        n.send(NodeId(0), NodeId(1), 256, MsgClass::Data, Cycles(0));
+        let busy: u64 = n.link_busy_cycles().iter().sum();
+        assert!(busy > 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! NoC accounting.
 
 use crate::network::MsgClass;
-use rce_common::{impl_json_struct, Bytes, Counter, Histogram};
+use rce_common::json::{FromJson, JsonValue, ToJson};
+use rce_common::{Bytes, Counter, Histogram};
 
 /// Accumulated network statistics.
 #[derive(Debug, Clone)]
@@ -22,18 +23,54 @@ pub struct NocStats {
     pub peak_link_utilization: f64,
     /// Mean utilization over links that carried traffic.
     pub mean_link_utilization: f64,
+    /// Distribution of per-message queueing delays (for tail
+    /// percentiles). Runtime-only: deliberately excluded from the JSON
+    /// form so `SimReport` serialization is unchanged by its addition.
+    pub queue_delay_hist: Histogram,
 }
 
-impl_json_struct!(NocStats {
-    msgs,
-    bytes,
-    flit_hops,
-    local_msgs,
-    total_queue_delay,
-    hop_hist,
-    peak_link_utilization,
-    mean_link_utilization,
-});
+// Hand-written (not `impl_json_struct!`) so `queue_delay_hist` stays
+// out of the serialized form — reports produced with observability off
+// must remain byte-identical to those from before it existed.
+impl ToJson for NocStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("msgs".to_string(), self.msgs.to_json()),
+            ("bytes".to_string(), self.bytes.to_json()),
+            ("flit_hops".to_string(), self.flit_hops.to_json()),
+            ("local_msgs".to_string(), self.local_msgs.to_json()),
+            (
+                "total_queue_delay".to_string(),
+                self.total_queue_delay.to_json(),
+            ),
+            ("hop_hist".to_string(), self.hop_hist.to_json()),
+            (
+                "peak_link_utilization".to_string(),
+                self.peak_link_utilization.to_json(),
+            ),
+            (
+                "mean_link_utilization".to_string(),
+                self.mean_link_utilization.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for NocStats {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(NocStats {
+            msgs: FromJson::from_json(v.field("msgs")?)?,
+            bytes: FromJson::from_json(v.field("bytes")?)?,
+            flit_hops: FromJson::from_json(v.field("flit_hops")?)?,
+            local_msgs: FromJson::from_json(v.field("local_msgs")?)?,
+            total_queue_delay: FromJson::from_json(v.field("total_queue_delay")?)?,
+            hop_hist: FromJson::from_json(v.field("hop_hist")?)?,
+            peak_link_utilization: FromJson::from_json(v.field("peak_link_utilization")?)?,
+            mean_link_utilization: FromJson::from_json(v.field("mean_link_utilization")?)?,
+            queue_delay_hist: Histogram::new(),
+        })
+    }
+}
 
 impl Default for NocStats {
     fn default() -> Self {
@@ -46,6 +83,7 @@ impl Default for NocStats {
             hop_hist: Histogram::new(),
             peak_link_utilization: 0.0,
             mean_link_utilization: 0.0,
+            queue_delay_hist: Histogram::new(),
         }
     }
 }
@@ -65,6 +103,7 @@ impl NocStats {
         self.flit_hops.add(flit_hops);
         self.total_queue_delay.add(queue_delay);
         self.hop_hist.record(hops);
+        self.queue_delay_hist.record(queue_delay);
     }
 
     /// Total messages routed (excluding local).
@@ -85,6 +124,12 @@ impl NocStats {
     /// Bytes of invalidation + ack traffic (the eager-coherence tax).
     pub fn invalidation_bytes(&self) -> Bytes {
         Bytes(self.bytes[MsgClass::Invalidation.index()].0 + self.bytes[MsgClass::Ack.index()].0)
+    }
+
+    /// Approximate queueing-delay percentile (cycles), `p` in
+    /// `[0, 100]` — tail latency beats the mean for saturation claims.
+    pub fn queue_delay_p(&self, p: f64) -> u64 {
+        self.queue_delay_hist.percentile(p)
     }
 
     /// Mean queueing delay per routed message (cycles).
@@ -115,6 +160,28 @@ mod tests {
         assert_eq!(s.invalidation_bytes(), Bytes(32));
         assert!((s.mean_queue_delay() - 3.75).abs() < 1e-12);
         assert_eq!(s.flit_hops.get(), 8);
+    }
+
+    #[test]
+    fn queue_delay_percentiles() {
+        let mut s = NocStats::default();
+        // 99 fast messages, one straggler.
+        for _ in 0..99 {
+            s.record_msg(MsgClass::Request, 16, 1, 1, 2);
+        }
+        s.record_msg(MsgClass::Request, 16, 1, 1, 4000);
+        assert!(s.queue_delay_p(50.0) <= 3);
+        assert!(
+            s.queue_delay_p(99.5) >= 2048,
+            "p99.5={} must surface the straggler",
+            s.queue_delay_p(99.5)
+        );
+        // The histogram stays out of the serialized form.
+        let j = rce_common::json::to_string(&s);
+        assert!(!j.contains("queue_delay_hist"));
+        let back: NocStats = rce_common::json::from_str(&j).unwrap();
+        assert_eq!(back.total_msgs(), 100);
+        assert_eq!(back.queue_delay_hist.count(), 0);
     }
 
     #[test]

@@ -39,4 +39,20 @@ if [ "$bad" -ne 0 ]; then
 fi
 echo "ok: all dependencies are in-tree rce-* crates"
 
+echo "== observability smoke (paper trace) =="
+# One fully-observed run: must emit a parseable Chrome trace + NDJSON
+# log and pass its built-in zero-perturbation check (the binary exits
+# nonzero if the obs-on report differs from the obs-off report).
+obs_out=$(mktemp -d)
+trap 'rm -rf "$obs_out"' EXIT
+cargo run -q --release --offline -p rce-bench --bin paper -- \
+    trace ping_pong CE+ --cores 4 --scale 1 --out "$obs_out"
+for f in trace-ping_pong-ceplus.json trace-ping_pong-ceplus.ndjson; do
+    if [ ! -s "$obs_out/$f" ]; then
+        echo "FAIL: paper trace did not write $f" >&2
+        exit 1
+    fi
+done
+echo "ok: trace artifacts written and zero-perturbation check passed"
+
 echo "== ci passed =="
