@@ -25,17 +25,20 @@ pub enum Ablation {
     Signature,
     /// MESI vs MOESI substrate under the baseline and CE+.
     Moesi,
+    /// AIM capacity x latency sensitivity for the AIM-backed designs.
+    AimSweep,
 }
 
 impl Ablation {
     /// All ablations.
-    pub const ALL: [Ablation; 6] = [
+    pub const ALL: [Ablation; 7] = [
         Ablation::Granularity,
         Ablation::Readonly,
         Ablation::Piggyback,
         Ablation::L1Size,
         Ablation::Signature,
         Ablation::Moesi,
+        Ablation::AimSweep,
     ];
 
     /// CLI name.
@@ -47,6 +50,7 @@ impl Ablation {
             Ablation::L1Size => "ablate-l1",
             Ablation::Signature => "ablate-signature",
             Ablation::Moesi => "ablate-moesi",
+            Ablation::AimSweep => "ablate-aim",
         }
     }
 
@@ -64,6 +68,7 @@ impl Ablation {
             Ablation::L1Size => l1_size(params),
             Ablation::Signature => signature(params),
             Ablation::Moesi => moesi(params),
+            Ablation::AimSweep => aim_sweep(params),
         }
     }
 }
@@ -314,6 +319,83 @@ fn signature(params: &EvalParams) -> FigureOutput {
     FigureOutput {
         id: "R-A5",
         title: "ARC signature size",
+        table: t.render(),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// AIM capacity x latency sweep over both AIM-backed designs.
+///
+/// The paper sizes the AIM once (Table III) and never reports how
+/// sensitive CE+ and ARC are to that choice. This sweep fills the gap:
+/// geomean runtime vs MESI as the AIM shrinks from "effectively
+/// infinite" down to thrash territory, crossed with the AIM access
+/// latency. ARC leans on the AIM for *every* LLC registration, so it
+/// should degrade faster than CE+ (which only touches the AIM on
+/// displacement and scrub).
+fn aim_sweep(params: &EvalParams) -> FigureOutput {
+    let mut t = Table::new(
+        "AIM capacity x latency (CE+/ARC, geomean runtime vs MESI)",
+        &[
+            "design", "entries", "latency", "runtime", "AIM hit%", "spills",
+        ],
+    );
+    let workloads = [WorkloadSpec::Canneal, WorkloadSpec::Bodytrack];
+    let bases: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            run_one(
+                *w,
+                ProtocolKind::MesiBaseline,
+                params.cores,
+                params.scale,
+                params.seed,
+            )
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for proto in [ProtocolKind::CePlus, ProtocolKind::Arc] {
+        for entries in [256u64, 1024, 8192, 65536] {
+            for latency in [2u64, 4, 8] {
+                let mut rt = Vec::new();
+                let (mut accesses, mut hits, mut spills) = (0u64, 0u64, 0u64);
+                for (w, base) in workloads.iter().zip(&bases) {
+                    let cfg = MachineConfig::paper_default(params.cores, proto)
+                        .with_aim_entries(entries)
+                        .with_aim_latency(latency);
+                    let r = run_one_cfg(*w, &cfg, params.scale, params.seed);
+                    rt.push((r.cycles.0 as f64 / base.cycles.0 as f64).max(1e-9));
+                    if let Some(a) = &r.aim {
+                        accesses += a.accesses;
+                        hits += a.hits;
+                        spills += a.spills;
+                    }
+                }
+                let g = rce_common::geomean(&rt);
+                let hit_pct = if accesses == 0 {
+                    0.0
+                } else {
+                    100.0 * hits as f64 / accesses as f64
+                };
+                t.row(vec![
+                    proto.name().to_string(),
+                    entries.to_string(),
+                    latency.to_string(),
+                    format!("{g:.3}"),
+                    format!("{hit_pct:.1}"),
+                    spills.to_string(),
+                ]);
+                rows.push(json!({
+                    "design": proto.name(), "entries": entries,
+                    "latency": latency, "runtime": g,
+                    "aim_hit_rate": hit_pct / 100.0, "spills": spills
+                }));
+            }
+        }
+    }
+    FigureOutput {
+        id: "R-A7",
+        title: "AIM capacity x latency sensitivity",
         table: t.render(),
         json: json!({ "rows": rows }),
     }

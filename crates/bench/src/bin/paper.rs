@@ -5,6 +5,7 @@
 //! paper fig-runtime              # one experiment
 //! paper table2 --cores 16 --scale 2 --seed 7 --jobs 8
 //! paper trace ping_pong CE+      # one traced run -> Chrome trace JSON
+//! paper report canneal CE+ideal  # one run -> SimReport JSON on stdout
 //! paper list                     # experiment catalog
 //! ```
 //!
@@ -21,32 +22,51 @@ use rce_bench::{
     figures::{base_sweep, TIMELINE_INTERVAL},
     profile, run_one_obs, Ablation, EvalParams, Experiment,
 };
-use rce_common::{json, MachineConfig, ObsConfig, ProtocolKind};
+use rce_common::{json, ObsConfig};
+use rce_core::{find_variant, EngineVariant, REGISTRY};
 use rce_trace::WorkloadSpec;
 use std::io::Write;
+
+fn engine_names() -> String {
+    REGISTRY
+        .iter()
+        .map(|v| v.cli_name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn ablation_names() -> String {
+    Ablation::ALL
+        .iter()
+        .map(|a| a.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: paper <experiment|all|ablations|summary|list> [--cores N] [--scale N] [--seed N] \
          [--jobs N] [--out DIR]\n       paper trace <workload> <engine> [--cores N] [--scale N] \
-         [--seed N] [--out DIR]\nexperiments: {}\nablations: {}\nengines: {}",
+         [--seed N] [--out DIR]\n       paper report <workload> <engine> [--cores N] [--scale N] \
+         [--seed N]\nexperiments: {}\nablations: {}\nengines: {}",
         Experiment::ALL
             .iter()
             .map(|e| e.name())
             .collect::<Vec<_>>()
             .join(", "),
-        Ablation::ALL
-            .iter()
-            .map(|a| a.name())
-            .collect::<Vec<_>>()
-            .join(", "),
-        ProtocolKind::ALL
-            .iter()
-            .map(|p| p.name())
-            .collect::<Vec<_>>()
-            .join(", ")
+        ablation_names(),
+        engine_names()
     );
     std::process::exit(2);
+}
+
+/// Resolve an engine name against the registry, or exit 2 after
+/// listing every valid name.
+fn engine_or_exit(name: &str) -> &'static EngineVariant {
+    find_variant(name).unwrap_or_else(|| {
+        eprintln!("unknown engine '{name}'; valid engines: {}", engine_names());
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -57,9 +77,10 @@ fn main() {
     let command = args[0].clone();
     let mut params = EvalParams::default();
     let mut out_dir = "results".to_string();
-    // `trace` takes two positional operands before the flags.
-    let mut i = if command == "trace" { 3 } else { 1 };
-    if command == "trace" && args.len() < 3 {
+    // `trace` and `report` take two positional operands before the flags.
+    let has_operands = command == "trace" || command == "report";
+    let mut i = if has_operands { 3 } else { 1 };
+    if has_operands && args.len() < 3 {
         usage();
     }
     while i < args.len() {
@@ -94,6 +115,11 @@ fn main() {
         return;
     }
 
+    if command == "report" {
+        run_report(&args[1], &args[2], &params);
+        return;
+    }
+
     if command == "summary" {
         match rce_bench::summary::evaluate(std::path::Path::new(&out_dir)) {
             Some(claims) => {
@@ -124,7 +150,15 @@ fn main() {
     let ablations: Vec<Ablation> = if command == "ablations" {
         Ablation::ALL.to_vec()
     } else {
-        Ablation::parse(&command).into_iter().collect()
+        let parsed = Ablation::parse(&command);
+        if parsed.is_none() && command.starts_with("ablate-") {
+            eprintln!(
+                "unknown ablation '{command}'; valid ablations: {}",
+                ablation_names()
+            );
+            std::process::exit(2);
+        }
+        parsed.into_iter().collect()
     };
     if !ablations.is_empty() {
         std::fs::create_dir_all(&out_dir).expect("create results directory");
@@ -201,20 +235,10 @@ fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
             std::process::exit(2);
         }
     };
-    let p = match ProtocolKind::ALL
-        .iter()
-        .copied()
-        .find(|p| p.name().eq_ignore_ascii_case(engine))
-    {
-        Some(p) => p,
-        None => {
-            eprintln!("unknown engine '{engine}' (expected MESI, CE, CE+, or ARC)");
-            std::process::exit(2);
-        }
-    };
+    let v = engine_or_exit(engine);
     profile::enable();
     profile::set_phase("trace");
-    let cfg = MachineConfig::paper_default(params.cores, p);
+    let cfg = v.config(params.cores);
     let r = run_one_obs(
         w,
         &cfg,
@@ -226,7 +250,7 @@ fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
     let timeline = r.timeline.as_ref().expect("sampling was requested");
 
     std::fs::create_dir_all(out_dir).expect("create results directory");
-    let slug = p.name().replace('+', "plus").to_lowercase();
+    let slug = v.cli_name.replace('+', "plus").to_lowercase();
     let base = format!("{out_dir}/trace-{}-{slug}", w.name());
 
     let chrome = log.to_chrome_trace();
@@ -240,7 +264,7 @@ fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
         "traced {} on {}: {} events emitted, {} kept (capacity {}), {} dropped; \
          {} timeline samples every {} cycles",
         w.name(),
-        p.name(),
+        v.cli_name,
         log.emitted,
         log.events.len(),
         log.capacity,
@@ -264,6 +288,26 @@ fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
     }
     eprintln!("   verified: report is byte-identical with observability off");
     eprintln!("{}", profile::render());
+}
+
+/// `paper report <workload> <engine>`: run one simulation at the
+/// registry configuration and print the `SimReport` JSON to stdout.
+///
+/// The output is byte-identical to the matching `tests/goldens/*.json`
+/// file (pretty JSON plus a trailing newline), which is exactly what
+/// `scripts/ci.sh` diffs against.
+fn run_report(workload: &str, engine: &str, params: &EvalParams) {
+    let w = match WorkloadSpec::parse(workload) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown workload '{workload}'");
+            std::process::exit(2);
+        }
+    };
+    let v = engine_or_exit(engine);
+    let cfg = v.config(params.cores);
+    let r = run_one_cfg(w, &cfg, params.scale, params.seed);
+    println!("{}", json::to_string_pretty(&r));
 }
 
 fn write_result(out_dir: &str, fig: &rce_bench::FigureOutput, params: &EvalParams) {

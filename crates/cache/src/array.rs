@@ -116,14 +116,18 @@ impl<T> SetAssoc<T> {
             set.iter().all(|s| s.key != key),
             "insert of already-resident key {key:#x}"
         );
-        let evicted = if set.len() == ways {
-            // Evict the LRU slot.
-            let (lru_idx, _) = set
-                .iter()
+        // Evict the LRU slot when the set is full (full => nonempty,
+        // so `min_by_key` finding nothing just means no eviction).
+        let lru_idx = if set.len() == ways {
+            set.iter()
                 .enumerate()
                 .min_by_key(|(_, s)| s.stamp)
-                .expect("set is full, so nonempty");
-            let slot = set.swap_remove(lru_idx);
+                .map(|(i, _)| i)
+        } else {
+            None
+        };
+        let evicted = if let Some(i) = lru_idx {
+            let slot = set.swap_remove(i);
             self.len -= 1;
             Some((slot.key, slot.value))
         } else {

@@ -49,9 +49,74 @@ impl ProtocolKind {
             ProtocolKind::Arc => "ARC",
         }
     }
+
+    /// The metadata placement that recovers this design as published:
+    /// CE keeps displaced bits in an off-chip DRAM table, CE+ and ARC
+    /// keep them in the on-chip AIM, the baseline has no metadata.
+    pub fn default_meta_placement(self) -> MetaPlacement {
+        match self {
+            ProtocolKind::MesiBaseline => MetaPlacement::None,
+            ProtocolKind::Ce => MetaPlacement::Dram,
+            ProtocolKind::CePlus | ProtocolKind::Arc => MetaPlacement::Aim,
+        }
+    }
 }
 
 impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where displaced/registered access metadata physically lives.
+///
+/// Orthogonal to the coherence+detection design selected by
+/// [`ProtocolKind`]: CE is the MESI-family detector with [`Dram`]
+/// placement, CE+ the same detector with [`Aim`] placement, and ARC
+/// registers at the LLC-side [`Aim`]. Overriding the placement yields
+/// the paper's missing sensitivity points — e.g. CE+ with an infinite
+/// zero-latency metadata store ([`Ideal`], the upper bound the AIM
+/// approximates) or ARC forced to keep every registration off-chip
+/// ([`Dram`], the lower bound).
+///
+/// [`Dram`]: MetaPlacement::Dram
+/// [`Aim`]: MetaPlacement::Aim
+/// [`Ideal`]: MetaPlacement::Ideal
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MetaPlacement {
+    /// No metadata store at all (baseline only).
+    #[default]
+    None,
+    /// Off-chip DRAM table: every metadata touch is a memory access.
+    Dram,
+    /// The on-chip AIM: bounded, spills victims to a DRAM table.
+    Aim,
+    /// Infinite on-chip store with zero access cost: the ideal bound
+    /// no real AIM geometry can beat.
+    Ideal,
+}
+
+impl MetaPlacement {
+    /// All placements, in cost order.
+    pub const ALL: [MetaPlacement; 4] = [
+        MetaPlacement::None,
+        MetaPlacement::Dram,
+        MetaPlacement::Aim,
+        MetaPlacement::Ideal,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaPlacement::None => "none",
+            MetaPlacement::Dram => "dram",
+            MetaPlacement::Aim => "aim",
+            MetaPlacement::Ideal => "ideal",
+        }
+    }
+}
+
+impl std::fmt::Display for MetaPlacement {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
@@ -81,6 +146,12 @@ impl_json_unit_enum!(ProtocolKind {
     Arc
 });
 impl_json_unit_enum!(DetectionGranularity { Word, Line });
+impl_json_unit_enum!(MetaPlacement {
+    None,
+    Dram,
+    Aim,
+    Ideal
+});
 impl_json_struct!(CacheGeometry {
     capacity,
     ways,
@@ -115,6 +186,7 @@ impl_json_struct!(MachineConfig {
     dram,
     aim,
     protocol,
+    meta_placement,
     metadata_piggyback_bytes,
     signature_bytes_per_line,
     ipc_scale,
@@ -254,6 +326,12 @@ pub struct MachineConfig {
     pub aim: AimConfig,
     /// Protocol to simulate.
     pub protocol: ProtocolKind,
+    /// Where the protocol's displaced/registered metadata lives (see
+    /// [`MetaPlacement`]). `paper_default` and `with_protocol` pick
+    /// the placement that recovers the published design; override it
+    /// (via [`MachineConfig::with_meta_placement`]) for the placement
+    /// sensitivity variants.
+    pub meta_placement: MetaPlacement,
     /// Extra bytes piggybacked onto each coherence message by CE/CE+
     /// to carry access bits.
     pub metadata_piggyback_bytes: u64,
@@ -308,6 +386,7 @@ impl MachineConfig {
             dram: DramConfig::default(),
             aim: AimConfig::default(),
             protocol,
+            meta_placement: protocol.default_meta_placement(),
             metadata_piggyback_bytes: 16,
             signature_bytes_per_line: 4,
             ipc_scale: 1.0,
@@ -329,10 +408,22 @@ impl MachineConfig {
     }
 
     /// Same configuration with a different protocol (for
-    /// apples-to-apples comparisons).
+    /// apples-to-apples comparisons). The metadata placement is reset
+    /// to the new protocol's published default; apply
+    /// [`MachineConfig::with_meta_placement`] afterwards to keep an
+    /// override.
     pub fn with_protocol(&self, protocol: ProtocolKind) -> Self {
         let mut c = self.clone();
         c.protocol = protocol;
+        c.meta_placement = protocol.default_meta_placement();
+        c
+    }
+
+    /// Same configuration with a different metadata placement (for
+    /// the placement variants: CE+/ideal, ARC/dram, ...).
+    pub fn with_meta_placement(&self, placement: MetaPlacement) -> Self {
+        let mut c = self.clone();
+        c.meta_placement = placement;
         c
     }
 
@@ -341,6 +432,14 @@ impl MachineConfig {
     pub fn with_aim_entries(&self, entries: u64) -> Self {
         let mut c = self.clone();
         c.aim.entries = entries;
+        c
+    }
+
+    /// Same configuration with a different AIM access latency (for
+    /// the AIM sensitivity sweep).
+    pub fn with_aim_latency(&self, latency: u64) -> Self {
+        let mut c = self.clone();
+        c.aim.latency = latency;
         c
     }
 
@@ -376,6 +475,20 @@ impl MachineConfig {
         }
         if !self.aim.entries.is_multiple_of(self.aim.ways as u64) {
             return Err("AIM entries must be a multiple of ways".into());
+        }
+        match (self.protocol, self.meta_placement) {
+            (ProtocolKind::MesiBaseline, MetaPlacement::None) => {}
+            (ProtocolKind::MesiBaseline, p) => {
+                return Err(format!(
+                    "the MESI baseline keeps no metadata; placement '{p}' is meaningless"
+                ));
+            }
+            (p, MetaPlacement::None) => {
+                return Err(format!(
+                    "detector '{p}' needs a metadata store; placement 'none' only fits MESI"
+                ));
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -436,6 +549,56 @@ mod tests {
         assert_eq!(ce.protocol, ProtocolKind::Ce);
         assert_eq!(ce.cores, base.cores);
         assert_eq!(ce.l1, base.l1);
+        // ... and tracks the protocol's published metadata placement.
+        assert_eq!(ce.meta_placement, MetaPlacement::Dram);
+    }
+
+    #[test]
+    fn default_placements_recover_the_paper_designs() {
+        assert_eq!(
+            ProtocolKind::MesiBaseline.default_meta_placement(),
+            MetaPlacement::None
+        );
+        assert_eq!(
+            ProtocolKind::Ce.default_meta_placement(),
+            MetaPlacement::Dram
+        );
+        assert_eq!(
+            ProtocolKind::CePlus.default_meta_placement(),
+            MetaPlacement::Aim
+        );
+        assert_eq!(
+            ProtocolKind::Arc.default_meta_placement(),
+            MetaPlacement::Aim
+        );
+    }
+
+    #[test]
+    fn placement_overrides_validate() {
+        // The two variants the layering makes runnable.
+        let ideal = MachineConfig::paper_default(4, ProtocolKind::CePlus)
+            .with_meta_placement(MetaPlacement::Ideal);
+        assert!(ideal.validate().is_ok());
+        let dram = MachineConfig::paper_default(4, ProtocolKind::Arc)
+            .with_meta_placement(MetaPlacement::Dram);
+        assert!(dram.validate().is_ok());
+        // Nonsense combinations are rejected.
+        let c = MachineConfig::paper_default(4, ProtocolKind::MesiBaseline)
+            .with_meta_placement(MetaPlacement::Aim);
+        assert!(c.validate().is_err());
+        let c = MachineConfig::paper_default(4, ProtocolKind::Ce)
+            .with_meta_placement(MetaPlacement::None);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn aim_knob_helpers_change_one_field() {
+        let base = MachineConfig::paper_default(4, ProtocolKind::CePlus);
+        let c = base.with_aim_entries(256).with_aim_latency(9);
+        assert_eq!(c.aim.entries, 256);
+        assert_eq!(c.aim.latency, 9);
+        assert_eq!(c.aim.ways, base.aim.ways);
+        assert_eq!(c.protocol, base.protocol);
     }
 
     #[test]

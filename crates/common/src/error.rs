@@ -21,6 +21,12 @@ pub enum RceError {
     DriverProtocol(String),
     /// A resource limit was exceeded (runaway simulation).
     LimitExceeded(String),
+    /// A model-internal invariant was violated (e.g. the directory
+    /// names a sharer whose L1 does not hold the line). Always a
+    /// simulator bug, but surfaced as an error instead of a panic so
+    /// a long sweep fails the offending run and keeps its partial
+    /// results recoverable.
+    InvariantViolated(String),
     /// The event-driven scheduler exceeded its step budget — a
     /// livelock guard, distinct from [`RceError::LimitExceeded`] so
     /// callers can inspect how far the run got before giving up.
@@ -39,6 +45,7 @@ impl std::fmt::Display for RceError {
             RceError::MalformedProgram(m) => write!(f, "malformed program: {m}"),
             RceError::DriverProtocol(m) => write!(f, "driver protocol violation: {m}"),
             RceError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            RceError::InvariantViolated(m) => write!(f, "invariant violated: {m}"),
             RceError::StepLimitExceeded { steps, limit } => write!(
                 f,
                 "step limit exceeded: {steps} scheduler steps ran against a budget of {limit} (livelock?)"
@@ -67,6 +74,9 @@ mod tests {
         assert!(RceError::LimitExceeded("w".into())
             .to_string()
             .contains("limit exceeded"));
+        assert!(RceError::InvariantViolated("v".into())
+            .to_string()
+            .contains("invariant violated"));
         let step = RceError::StepLimitExceeded {
             steps: 12,
             limit: 10,

@@ -36,8 +36,8 @@ pub mod units;
 
 pub use addr::{Addr, LineAddr, LineGeometry, WordIdx, WordMask};
 pub use config::{
-    AimConfig, CacheGeometry, DetectionGranularity, DramConfig, MachineConfig, NocConfig,
-    ProtocolKind,
+    AimConfig, CacheGeometry, DetectionGranularity, DramConfig, MachineConfig, MetaPlacement,
+    NocConfig, ProtocolKind,
 };
 pub use error::{RceError, RceResult};
 pub use ids::{BarrierId, CoreId, LockId, RegionId, ThreadId};

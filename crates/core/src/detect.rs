@@ -1,0 +1,172 @@
+//! The detection layer: region-conflict checking over access bits.
+//!
+//! Both coherence families funnel their conflict checks through one
+//! [`Detector`]: look up the opposing bits in a [`MetaMap`] (wherever
+//! the metadata layer keeps it — an L1 line's riding bits, an AIM
+//! entry, the DRAM table), materialize a per-word
+//! [`ConflictException`] for every overlap with a *live* region, count
+//! it, and record the new access so later accesses see it. The
+//! coherence layer decides *when* a check happens (on every coherence
+//! action for the MESI family, on first-touch registration for ARC)
+//! and *which* map is consulted; the detector owns *what a conflict
+//! is*.
+
+use crate::access::MetaMap;
+use crate::exception::{ConflictException, ConflictSide};
+use rce_common::{CoreId, Counter, Cycles, LineAddr, RegionId, WordMask};
+
+/// Materialize per-word exceptions from a conflict check result.
+pub(crate) fn exceptions_from(
+    check: &crate::access::ConflictCheck,
+    me: ConflictSide,
+    line: LineAddr,
+    at: Cycles,
+) -> Vec<ConflictException> {
+    let mut out = Vec::new();
+    for (side, words) in &check.conflicts {
+        for w in words.iter() {
+            out.push(ConflictException::new(me, *side, line.word_addr(w), at));
+        }
+    }
+    out
+}
+
+/// The conflict detector shared by every engine family.
+///
+/// Stateless apart from its exception counter: the access bits
+/// themselves live in the metadata layer (or ride L1 lines), and the
+/// liveness oracle is the substrate's region table.
+#[derive(Debug, Default)]
+pub struct Detector {
+    conflicts: Counter,
+}
+
+impl Detector {
+    /// Fresh detector.
+    pub fn new() -> Self {
+        Detector::default()
+    }
+
+    /// Check `me`'s access against the opposing bits in `entry`,
+    /// record the access, and return the exceptions raised (empty when
+    /// no live opposing bits overlap `dmask`). `live` is the region
+    /// liveness oracle — entries of ended regions are treated as
+    /// absent, which is what makes lazy scrubbing harmless.
+    pub fn check_and_record(
+        &mut self,
+        entry: &mut MetaMap,
+        me: ConflictSide,
+        dmask: WordMask,
+        line: LineAddr,
+        at: Cycles,
+        live: impl Fn(CoreId, RegionId) -> bool,
+    ) -> Vec<ConflictException> {
+        let chk = entry.check(me.core, me.kind, dmask, live);
+        let mut exceptions = Vec::new();
+        if chk.any() {
+            exceptions = exceptions_from(&chk, me, line, at);
+            self.conflicts.add(exceptions.len() as u64);
+        }
+        entry.record(me.core, me.region, me.kind, dmask);
+        exceptions
+    }
+
+    /// Exceptions raised so far (the `conflict_checks_hit` counter).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::AccessType;
+    use rce_common::WordIdx;
+
+    fn side(core: u16, region: u64, kind: AccessType) -> ConflictSide {
+        ConflictSide {
+            core: CoreId(core),
+            region: RegionId(region),
+            kind,
+        }
+    }
+
+    #[test]
+    fn detects_and_counts_live_overlaps() {
+        let mut d = Detector::new();
+        let mut m = MetaMap::new();
+        let w = WordMask::single(WordIdx(3));
+        let none = d.check_and_record(
+            &mut m,
+            side(0, 1, AccessType::Write),
+            w,
+            LineAddr(7),
+            Cycles(5),
+            |_, _| true,
+        );
+        assert!(none.is_empty(), "first access conflicts with nothing");
+        let ex = d.check_and_record(
+            &mut m,
+            side(1, 2, AccessType::Write),
+            w,
+            LineAddr(7),
+            Cycles(9),
+            |_, _| true,
+        );
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].word_addr, LineAddr(7).word_addr(WordIdx(3)));
+        assert_eq!(d.conflicts(), 1);
+    }
+
+    #[test]
+    fn dead_regions_do_not_conflict() {
+        let mut d = Detector::new();
+        let mut m = MetaMap::new();
+        let w = WordMask::single(WordIdx(0));
+        let _ = d.check_and_record(
+            &mut m,
+            side(0, 1, AccessType::Write),
+            w,
+            LineAddr(1),
+            Cycles(0),
+            |_, _| true,
+        );
+        // Core 0's region 1 has ended by the time core 1 accesses.
+        let ex = d.check_and_record(
+            &mut m,
+            side(1, 5, AccessType::Write),
+            w,
+            LineAddr(1),
+            Cycles(1),
+            |c, r| !(c == CoreId(0) && r == RegionId(1)),
+        );
+        assert!(ex.is_empty());
+        assert_eq!(d.conflicts(), 0);
+    }
+
+    #[test]
+    fn recording_happens_even_without_conflict() {
+        let mut d = Detector::new();
+        let mut m = MetaMap::new();
+        let w = WordMask::single(WordIdx(2));
+        let _ = d.check_and_record(
+            &mut m,
+            side(0, 1, AccessType::Read),
+            w,
+            LineAddr(3),
+            Cycles(0),
+            |_, _| true,
+        );
+        assert!(!m.is_empty(), "the access was recorded");
+        // A second same-core access never self-conflicts.
+        let ex = d.check_and_record(
+            &mut m,
+            side(0, 1, AccessType::Write),
+            w,
+            LineAddr(3),
+            Cycles(1),
+            |_, _| true,
+        );
+        assert!(ex.is_empty());
+    }
+}

@@ -12,13 +12,14 @@
 //!   current-region access bits and reclassifies the line *shared*.
 //! - **Word registration.** The first access per word/kind/region to
 //!   a shared line sends a small registration message to the line's
-//!   home LLC bank, where the **AIM** holds every core's current-region
-//!   access bits and checks conflicts on the spot. Registration rides
-//!   the miss request when the access misses (the common case, thanks
-//!   to self-invalidation).
+//!   home LLC bank, where the metadata layer ([`crate::meta`] —
+//!   normally the **AIM**) holds every core's current-region access
+//!   bits and the shared [`Detector`] checks conflicts on the spot.
+//!   Registration rides the miss request when the access misses (the
+//!   common case, thanks to self-invalidation).
 //! - **Region boundaries** (every synchronization operation): the core
 //!   flushes dirty words of shared lines to the LLC (release
-//!   semantics), clears its AIM registrations (one small message per
+//!   semantics), clears its registrations (one small message per
 //!   touched line), and *self-invalidates* its shared lines so the
 //!   next region re-fetches fresh data (acquire semantics). Private
 //!   lines — clean or dirty — stay put.
@@ -26,15 +27,20 @@
 //! Compared with CE+: no invalidation/ack storms, no per-message
 //! metadata piggybacks, dirty-word (not whole-line) writebacks — at
 //! the cost of re-fetching shared data each region and paying
-//! registration messages.
+//! registration messages. Because the metadata placement is pluggable,
+//! ARC can also register against CE's off-chip DRAM table
+//! ([`crate::meta::DramMeta`]) — measuring exactly what the AIM buys
+//! this family.
 
-use crate::aim::Aim;
-use crate::engines::exceptions_from;
+use crate::detect::Detector;
 use crate::exception::{AccessType, ConflictException, ConflictSide};
+use crate::meta::{backend_for, MetaBackend};
 use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::L1Cache;
 use rce_common::obs::{EventClass, EventKind, SimEvent};
-use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, WordMask};
+use rce_common::{
+    Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, RceError, RceResult, WordMask,
+};
 use rce_noc::MsgClass;
 use std::collections::{HashMap, HashSet};
 
@@ -69,13 +75,16 @@ enum Class {
 /// The ARC engine.
 pub struct ArcEngine {
     l1: Vec<L1Cache<ArcLine>>,
-    aim: Aim,
+    /// Where registration metadata lives (normally the AIM).
+    meta: Box<dyn MetaBackend>,
+    /// The conflict detector (shared logic with the MESI family).
+    detect: Detector,
     class: HashMap<u64, Class>,
     /// Lines that have ever been written (drives the read-only
     /// classification when `arc_readonly_sharing` is on).
     written_ever: HashSet<u64>,
-    /// Per core: lines with AIM registrations this region (cleared at
-    /// the boundary).
+    /// Per core: lines with registrations this region (cleared at the
+    /// boundary).
     touched: Vec<HashSet<u64>>,
     registrations: Counter,
     recalls: Counter,
@@ -85,15 +94,16 @@ pub struct ArcEngine {
     ro_retained: Counter,
     flushed_words: Counter,
     private_spills: Counter,
-    conflicts: Counter,
 }
 
 impl ArcEngine {
-    /// Build from configuration.
+    /// Build from configuration; the metadata placement comes from
+    /// `cfg.meta_placement`.
     pub fn new(cfg: &MachineConfig) -> Self {
         ArcEngine {
             l1: (0..cfg.cores).map(|_| L1Cache::new(&cfg.l1)).collect(),
-            aim: Aim::new(&cfg.aim),
+            meta: backend_for(cfg),
+            detect: Detector::new(),
             class: HashMap::new(),
             written_ever: HashSet::new(),
             touched: vec![HashSet::new(); cfg.cores],
@@ -103,63 +113,11 @@ impl ArcEngine {
             ro_retained: Counter::default(),
             flushed_words: Counter::default(),
             private_spills: Counter::default(),
-            conflicts: Counter::default(),
         }
     }
 
-    /// Charge the DRAM side effects of an AIM `ensure` (spill/refill),
-    /// starting from the line's home bank at `t`. Returns when the
-    /// entry is usable.
-    fn charge_aim(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
-        let o = self.aim.ensure(line);
-        sub.trace(EventClass::Aim, || SimEvent {
-            cycle: t.0,
-            core: None,
-            region: None,
-            kind: if o.hit {
-                EventKind::AimHit { line: line.0 }
-            } else {
-                EventKind::AimMiss {
-                    line: line.0,
-                    refilled: o.refilled,
-                }
-            },
-        });
-        if o.spilled {
-            sub.trace(EventClass::Aim, || SimEvent {
-                cycle: t.0,
-                core: None,
-                region: None,
-                kind: EventKind::AimSpill { line: line.0 },
-            });
-        }
-        let bank = sub.bank_node(line);
-        let mem = sub.noc.mem_node(line);
-        let mut ready = Cycles(t.0 + self.aim.latency);
-        if o.refilled {
-            let t1 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t);
-            let t2 = sub.dram.access(
-                line,
-                self.aim.entry_bytes,
-                rce_dram::AccessKind::MetaRead,
-                t1,
-            );
-            ready = sub.noc.send(mem, bank, 16, MsgClass::Metadata, t2);
-        }
-        if o.spilled {
-            let t1 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t);
-            let _ = sub.dram.access(
-                line,
-                self.aim.entry_bytes,
-                rce_dram::AccessKind::MetaWrite,
-                t1,
-            );
-        }
-        ready
-    }
-
-    /// Register `mask` bits of `kind` for `core` at the line's AIM
-    /// entry (already ensured), checking for conflicts first.
+    /// Register `mask` bits of `kind` for `core` at the line's
+    /// metadata entry (already ensured), checking for conflicts first.
     fn aim_check_record(
         &mut self,
         sub: &Substrate,
@@ -170,24 +128,20 @@ impl ArcEngine {
         at: Cycles,
     ) -> Vec<ConflictException> {
         let region = sub.region_of(core);
-        let entry = self.aim.entry(line);
-        let chk = entry.check(core, kind, mask, |c, r| sub.is_live(c, r));
-        entry.record(core, region, kind, mask);
+        let me = ConflictSide { core, region, kind };
+        let ex =
+            self.detect
+                .check_and_record(self.meta.entry_mut(line), me, mask, line, at, |c, r| {
+                    sub.is_live(c, r)
+                });
         self.touched[core.index()].insert(line.0);
-        if chk.any() {
-            let me = ConflictSide { core, region, kind };
-            let ex = exceptions_from(&chk, me, line, at);
-            self.conflicts.add(ex.len() as u64);
-            ex
-        } else {
-            Vec::new()
-        }
+        ex
     }
 
     /// Recall a private owner's in-flight state when a second core
     /// requests the line: dirty words flush to the LLC, current-region
-    /// access bits merge into the AIM entry, and the owner's copy is
-    /// reclassified shared. Returns when the recall completes.
+    /// access bits merge into the metadata entry, and the owner's copy
+    /// is reclassified shared. Returns when the recall completes.
     fn recall(
         &mut self,
         sub: &mut Substrate,
@@ -230,7 +184,7 @@ impl ArcEngine {
             if !written_words.is_empty() {
                 self.written_ever.insert(line.0);
             }
-            // Merge the owner's current-region bits into the AIM.
+            // Merge the owner's current-region bits into the entry.
             if !read_words.is_empty() || !written_words.is_empty() {
                 let meta_at = sub.noc.send(
                     owner_node,
@@ -240,7 +194,7 @@ impl ArcEngine {
                     probe,
                 );
                 reply = reply.max(meta_at);
-                let entry = self.aim.entry(line);
+                let entry = self.meta.entry_mut(line);
                 if !read_words.is_empty() {
                     entry.record(owner, owner_region, AccessType::Read, read_words);
                 }
@@ -264,7 +218,7 @@ impl ArcEngine {
     }
 
     /// Fill `line` into `core`'s L1, handling the victim: dirty-word
-    /// writeback, private-line metadata spill to the AIM.
+    /// writeback, private-line metadata spill to the metadata layer.
     fn fill_line(
         &mut self,
         sub: &mut Substrate,
@@ -291,8 +245,8 @@ impl ArcEngine {
                 sub.llc_put(victim, wb);
             }
             // A private victim's current-region bits must stay visible
-            // for conflict checks: spill them to the AIM. (Shared
-            // victims registered eagerly; nothing to do.)
+            // for conflict checks: spill them to the metadata layer.
+            // (Shared victims registered eagerly; nothing to do.)
             if !vstate.written_words.is_empty() {
                 self.written_ever.insert(victim.0);
             }
@@ -302,9 +256,9 @@ impl ArcEngine {
                 let t1 = sub
                     .noc
                     .send(me, vbank, sub.cfg.aim.entry_bytes, MsgClass::Metadata, at);
-                let _ready = self.charge_aim(sub, victim, t1);
+                let _ready = self.meta.ensure_at(sub, victim, t1);
                 let region = sub.region_of(core);
-                let entry = self.aim.entry(victim);
+                let entry = self.meta.entry_mut(victim);
                 if !vstate.read_words.is_empty() {
                     entry.record(core, region, AccessType::Read, vstate.read_words);
                 }
@@ -363,7 +317,7 @@ impl Engine for ArcEngine {
         mask: WordMask,
         kind: AccessType,
         now: Cycles,
-    ) -> AccessResult {
+    ) -> RceResult<AccessResult> {
         let line = addr.line();
         let l1_lat = sub.cfg.l1.latency;
         let me = sub.core_node(core);
@@ -378,7 +332,9 @@ impl Engine for ArcEngine {
         let hit = self.l1[core.index()].access(line).is_some();
         if hit {
             let (is_shared, new_words) = {
-                let st = self.l1[core.index()].probe_mut(line).expect("hit");
+                let st = self.l1[core.index()].probe_mut(line).ok_or_else(|| {
+                    RceError::InvariantViolated(format!("hit line vanished: {core} {line}"))
+                })?;
                 let new = match kind {
                     AccessType::Read => dmask.minus(st.read_words),
                     AccessType::Write => dmask.minus(st.written_words),
@@ -405,10 +361,10 @@ impl Engine for ArcEngine {
                 let t1 = sub
                     .noc
                     .send(me, bank, sub.cfg.noc.ctrl_bytes, MsgClass::Metadata, now);
-                let t2 = self.charge_aim(sub, line, t1);
+                let t2 = self.meta.ensure_at(sub, line, t1);
                 exceptions = self.aim_check_record(sub, core, line, new_words, kind, t2);
             }
-            return AccessResult { done, exceptions };
+            return Ok(AccessResult { done, exceptions });
         }
 
         // Miss: request to the home bank.
@@ -430,7 +386,7 @@ impl Engine for ArcEngine {
         let is_shared = match cls {
             Class::Private(owner) if owner != core => {
                 // Second core: recall, reclassify shared.
-                let t_aim = self.charge_aim(sub, line, t1);
+                let t_aim = self.meta.ensure_at(sub, line, t1);
                 let t_recall = self.recall(sub, owner, line, t1);
                 self.class.insert(line.0, Class::Shared);
                 t_ready = t_ready.max(t_aim).max(t_recall);
@@ -438,7 +394,7 @@ impl Engine for ArcEngine {
             }
             Class::Private(_) => false,
             Class::Shared => {
-                let t_aim = self.charge_aim(sub, line, t1);
+                let t_aim = self.meta.ensure_at(sub, line, t1);
                 t_ready = t_ready.max(t_aim);
                 true
             }
@@ -481,13 +437,18 @@ impl Engine for ArcEngine {
         }
         self.fill_line(sub, core, line, st, t_data);
 
-        AccessResult {
+        Ok(AccessResult {
             done: Cycles(t_data.0 + l1_lat),
             exceptions,
-        }
+        })
     }
 
-    fn region_boundary(&mut self, sub: &mut Substrate, core: CoreId, now: Cycles) -> AccessResult {
+    fn region_boundary(
+        &mut self,
+        sub: &mut Substrate,
+        core: CoreId,
+        now: Cycles,
+    ) -> RceResult<AccessResult> {
         let me = sub.core_node(core);
         let mut done = Cycles(now.0 + 10); // flash self-invalidate cost
 
@@ -508,11 +469,13 @@ impl Engine for ArcEngine {
             done = done.max(t);
             self.l1[core.index()]
                 .probe_mut(*line)
-                .expect("flushed line is resident")
+                .ok_or_else(|| {
+                    RceError::InvariantViolated(format!("flushed line vanished: {core} {line}"))
+                })?
                 .dirty = WordMask::EMPTY;
         }
 
-        // 2. Clear AIM registrations (one signature message per line;
+        // 2. Clear registrations (one signature message per line;
         //    sorted for deterministic NoC contention).
         let mut lines: Vec<u64> = self.touched[core.index()].drain().collect();
         lines.sort_unstable();
@@ -525,8 +488,8 @@ impl Engine for ArcEngine {
                 MsgClass::Metadata,
                 now,
             );
-            self.aim.clear_core(line, core);
-            done = done.max(Cycles(t1.0 + self.aim.latency));
+            let t = self.meta.boundary_clear(sub, line, core, t1);
+            done = done.max(t);
         }
 
         // 3. Self-invalidate shared lines (read-only-classified lines
@@ -557,10 +520,10 @@ impl Engine for ArcEngine {
             st.written_words = WordMask::EMPTY;
         }
 
-        AccessResult {
+        Ok(AccessResult {
             done,
             exceptions: Vec::new(),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -574,7 +537,7 @@ impl Engine for ArcEngine {
     }
 
     fn aim_totals(&self) -> Option<(u64, u64, u64, u64)> {
-        Some(self.aim.totals())
+        self.meta.totals()
     }
 
     fn extra_counters(&self) -> Vec<(&'static str, u64)> {
@@ -585,7 +548,7 @@ impl Engine for ArcEngine {
             ("ro_retained_lines", self.ro_retained.get()),
             ("flushed_words", self.flushed_words.get()),
             ("private_spills", self.private_spills.get()),
-            ("conflict_checks_hit", self.conflicts.get()),
+            ("conflict_checks_hit", self.detect.conflicts()),
         ]
     }
 }
@@ -593,7 +556,7 @@ impl Engine for ArcEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rce_common::ProtocolKind;
+    use rce_common::{MetaPlacement, ProtocolKind};
 
     fn setup(cores: usize) -> (ArcEngine, Substrate) {
         let cfg = MachineConfig::paper_default(cores, ProtocolKind::Arc);
@@ -619,10 +582,11 @@ mod tests {
             kind,
             Cycles(now),
         )
+        .unwrap()
     }
 
     fn boundary(e: &mut ArcEngine, s: &mut Substrate, core: u16, now: u64) -> u64 {
-        let b = e.region_boundary(s, CoreId(core), Cycles(now));
+        let b = e.region_boundary(s, CoreId(core), Cycles(now)).unwrap();
         s.advance_region(CoreId(core));
         b.done.0
     }
@@ -662,6 +626,25 @@ mod tests {
         assert_eq!(w2.exceptions.len(), 1);
         assert!(w2.exceptions[0].involves_write());
         assert!(e.recalls.get() >= 1, "second toucher triggers a recall");
+    }
+
+    #[test]
+    fn dram_placement_detects_like_aim() {
+        // ARC registering against the off-chip table: same conflicts,
+        // no AIM statistics, off-chip metadata traffic instead.
+        let cfg = MachineConfig::paper_default(2, ProtocolKind::Arc)
+            .with_meta_placement(MetaPlacement::Dram);
+        let mut e = ArcEngine::new(&cfg);
+        let mut s = Substrate::new(&cfg);
+        let w = acc(&mut e, &mut s, 0, 0x100, W, 0);
+        assert!(w.exceptions.is_empty());
+        let w2 = acc(&mut e, &mut s, 1, 0x100, W, w.done.0);
+        assert_eq!(w2.exceptions.len(), 1);
+        assert!(e.aim_totals().is_none(), "no AIM in the DRAM placement");
+        assert!(
+            s.dram.stats().metadata_bytes().0 > 0,
+            "registrations pay the off-chip tax"
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The eager write-invalidation family: MESI baseline, CE, CE+.
 //!
-//! One engine, three modes:
+//! One coherence engine, composed with a pluggable metadata placement
+//! ([`crate::meta`]) and the shared conflict detector
+//! ([`crate::detect`]):
 //! - **MESI**: directory-based MESI with cache-to-cache transfers.
 //!   No metadata, no checks — the normalization baseline.
 //! - **CE**: Conflict Exceptions. Every L1 line carries a [`MetaMap`]
@@ -9,12 +11,18 @@
 //!   messages) and are checked at every point the hardware would check
 //!   them: local accesses against line-resident bits, fetches against
 //!   the arriving owner/sharer bits, and misses against bits displaced
-//!   to the **in-memory metadata table** by mid-region evictions.
-//!   Region ends must scrub each line whose bits were displaced —
-//!   an off-chip round trip per line: CE's defining cost.
+//!   to the **in-memory metadata table** ([`crate::meta::DramMeta`])
+//!   by mid-region evictions. Region ends must scrub each line whose
+//!   bits were displaced — an off-chip round trip per line: CE's
+//!   defining cost.
 //! - **CE+**: identical, except displaced bits go to the on-chip
-//!   [`Aim`] colocated with the LLC banks; only AIM victims spill to
-//!   DRAM. Region-end scrubs become on-chip AIM accesses.
+//!   [`crate::meta::AimMeta`] colocated with the LLC banks; only AIM
+//!   victims spill to DRAM. Region-end scrubs become on-chip AIM
+//!   accesses.
+//!
+//! Because the placement is orthogonal, CE+ can also run against
+//! [`crate::meta::IdealMeta`] (the infinite store) — the upper bound
+//! the AIM sensitivity study compares against.
 //!
 //! Correctness note (see DESIGN.md): metadata entries are tagged with
 //! the region that created them, and entries from ended regions are
@@ -23,14 +31,16 @@
 //! hardware pays.
 
 use crate::access::MetaMap;
-use crate::aim::Aim;
-use crate::engines::exceptions_from;
+use crate::detect::Detector;
 use crate::exception::{AccessType, ConflictSide};
+use crate::meta::{backend_for, MetaBackend};
 use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::{L1Cache, MesiState};
 use rce_common::obs::{EventClass, EventKind, SimEvent};
-use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, ProtocolKind, WordMask};
-use rce_dram::AccessKind as DramKind;
+use rce_common::{
+    Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, ProtocolKind, RceError, RceResult,
+    WordMask,
+};
 use rce_noc::MsgClass;
 use std::collections::{HashMap, HashSet};
 
@@ -45,16 +55,6 @@ pub struct CeLine {
     pub meta: MetaMap,
 }
 
-/// Where displaced metadata lives.
-enum Backend {
-    /// Baseline: no metadata at all.
-    None,
-    /// CE: in-memory table; every touch is an off-chip access.
-    Mem(HashMap<u64, MetaMap>),
-    /// CE+: the AIM, spilling to DRAM only on AIM eviction.
-    Aim(Aim),
-}
-
 /// The engine.
 pub struct MesiFamilyEngine {
     mode: ProtocolKind,
@@ -62,7 +62,10 @@ pub struct MesiFamilyEngine {
     /// writing back (see `MachineConfig::use_owned_state`).
     moesi: bool,
     l1: Vec<L1Cache<CeLine>>,
-    backend: Backend,
+    /// Where displaced metadata lives (and what touching it costs).
+    meta: Box<dyn MetaBackend>,
+    /// The conflict detector (shared logic with ARC).
+    detect: Detector,
     /// Access bits attached to LLC lines (CE extends the shared cache
     /// with access bits too): whenever metadata passes through the
     /// LLC/directory — owner downgrades, invalidation acks, displaced
@@ -84,23 +87,28 @@ pub struct MesiFamilyEngine {
     meta_pushes: Counter,
     meta_lookups: Counter,
     scrubs: Counter,
-    conflicts: Counter,
+}
+
+/// The invariant-violation error for a line the directory swears a
+/// core holds but its L1 does not.
+fn not_resident(what: &str, core: CoreId, line: LineAddr) -> RceError {
+    RceError::InvariantViolated(format!("{what}: {core} does not hold {line}"))
 }
 
 impl MesiFamilyEngine {
-    /// Build for the configuration's protocol (must be MESI/CE/CE+).
+    /// Build for the configuration's protocol (must be MESI/CE/CE+);
+    /// the metadata placement comes from `cfg.meta_placement`.
     pub fn new(cfg: &MachineConfig) -> Self {
-        let backend = match cfg.protocol {
-            ProtocolKind::MesiBaseline => Backend::None,
-            ProtocolKind::Ce => Backend::Mem(HashMap::new()),
-            ProtocolKind::CePlus => Backend::Aim(Aim::new(&cfg.aim)),
-            ProtocolKind::Arc => panic!("ARC is a separate engine"),
-        };
+        assert!(
+            !matches!(cfg.protocol, ProtocolKind::Arc),
+            "ARC is a separate engine"
+        );
         MesiFamilyEngine {
             mode: cfg.protocol,
             moesi: cfg.use_owned_state,
             l1: (0..cfg.cores).map(|_| L1Cache::new(&cfg.l1)).collect(),
-            backend,
+            meta: backend_for(cfg),
+            detect: Detector::new(),
             llc_meta: HashMap::new(),
             displaced: HashSet::new(),
             foreign: vec![HashSet::new(); cfg.cores],
@@ -111,7 +119,6 @@ impl MesiFamilyEngine {
             meta_pushes: Counter::default(),
             meta_lookups: Counter::default(),
             scrubs: Counter::default(),
-            conflicts: Counter::default(),
         }
     }
 
@@ -155,78 +162,22 @@ impl MesiFamilyEngine {
             .is_some_and(|e| !e.is_empty() && sub.is_live(core, e.region))
     }
 
-    /// Consult the backend for displaced metadata of `line`; the
-    /// request is at the line's home bank at `t`. Returns the ready
-    /// time and the (removed) metadata — bits ride back into the
-    /// requesting L1, matching CE's bits-travel-with-the-line design.
+    /// Consult the metadata layer for displaced bits of `line`; the
+    /// request is at the line's home bank at `t`. Lines never
+    /// displaced skip the lookup entirely (the hardware's displaced
+    /// filter).
     fn fetch_meta(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
         if !self.displaced.contains(&line.0) {
             return (t, MetaMap::new());
         }
         self.displaced.remove(&line.0);
         self.meta_lookups.inc();
-        let bank = sub.bank_node(line);
-        match &mut self.backend {
-            Backend::None => (t, MetaMap::new()),
-            Backend::Mem(table) => {
-                let m = table.remove(&line.0).unwrap_or_default();
-                let mem = sub.noc.mem_node(line);
-                let t1 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t);
-                let t2 = sub
-                    .dram
-                    .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaRead, t1);
-                let t3 = sub.noc.send(mem, bank, 16, MsgClass::Metadata, t2);
-                (t3, m)
-            }
-            Backend::Aim(aim) => {
-                let o = aim.ensure(line);
-                sub.trace(EventClass::Aim, || SimEvent {
-                    cycle: t.0,
-                    core: None,
-                    region: None,
-                    kind: if o.hit {
-                        EventKind::AimHit { line: line.0 }
-                    } else {
-                        EventKind::AimMiss {
-                            line: line.0,
-                            refilled: o.refilled,
-                        }
-                    },
-                });
-                if o.spilled {
-                    sub.trace(EventClass::Aim, || SimEvent {
-                        cycle: t.0,
-                        core: None,
-                        region: None,
-                        kind: EventKind::AimSpill { line: line.0 },
-                    });
-                }
-                let mut ready = Cycles(t.0 + aim.latency);
-                let mem = sub.noc.mem_node(line);
-                if o.refilled {
-                    // The entry itself had spilled to DRAM: fetch it.
-                    let t1 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t);
-                    let t2 = sub
-                        .dram
-                        .access(line, aim.entry_bytes, DramKind::MetaRead, t1);
-                    ready = sub.noc.send(mem, bank, 16, MsgClass::Metadata, t2);
-                }
-                if o.spilled {
-                    // Victim spill: traffic only, off the critical path.
-                    let t1 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t);
-                    let _ = sub
-                        .dram
-                        .access(line, aim.entry_bytes, DramKind::MetaWrite, t1);
-                }
-                let m = std::mem::take(aim.entry(line));
-                (ready, m)
-            }
-        }
+        self.meta.fetch(sub, line, t)
     }
 
     /// Push displaced metadata (from an evicted/invalidated copy) to
-    /// the backend. `src` is the node the bits leave from. Off the
-    /// critical path: traffic and backend occupancy only.
+    /// the metadata layer. `src` is the node the bits leave from. Off
+    /// the critical path: traffic and backend occupancy only.
     fn backend_push(
         &mut self,
         sub: &mut Substrate,
@@ -241,58 +192,7 @@ impl MesiFamilyEngine {
         }
         self.meta_pushes.inc();
         self.displaced.insert(line.0);
-        match &mut self.backend {
-            Backend::None => unreachable!("no pushes in baseline mode"),
-            Backend::Mem(table) => {
-                let mem = sub.noc.mem_node(line);
-                let t1 = sub.noc.send(src, mem, 16, MsgClass::Metadata, at);
-                let _ = sub
-                    .dram
-                    .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaWrite, t1);
-                table.entry(line.0).or_default().merge(&meta);
-            }
-            Backend::Aim(aim) => {
-                let bank = sub.bank_node(line);
-                let t1 = sub.noc.send(src, bank, 16, MsgClass::Metadata, at);
-                let o = aim.ensure(line);
-                sub.trace(EventClass::Aim, || SimEvent {
-                    cycle: at.0,
-                    core: None,
-                    region: None,
-                    kind: if o.hit {
-                        EventKind::AimHit { line: line.0 }
-                    } else {
-                        EventKind::AimMiss {
-                            line: line.0,
-                            refilled: o.refilled,
-                        }
-                    },
-                });
-                if o.spilled {
-                    sub.trace(EventClass::Aim, || SimEvent {
-                        cycle: at.0,
-                        core: None,
-                        region: None,
-                        kind: EventKind::AimSpill { line: line.0 },
-                    });
-                }
-                if o.spilled {
-                    let mem = sub.noc.mem_node(line);
-                    let t2 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t1);
-                    let _ = sub
-                        .dram
-                        .access(line, aim.entry_bytes, DramKind::MetaWrite, t2);
-                }
-                if o.refilled {
-                    let mem = sub.noc.mem_node(line);
-                    let t2 = sub.noc.send(bank, mem, 16, MsgClass::Metadata, t1);
-                    let _ = sub
-                        .dram
-                        .access(line, aim.entry_bytes, DramKind::MetaRead, t2);
-                }
-                aim.entry(line).merge(&meta);
-            }
-        }
+        self.meta.push(sub, src, line, meta, at);
     }
 
     /// Region-end scrub of one displaced line.
@@ -305,28 +205,11 @@ impl MesiFamilyEngine {
     ) -> Cycles {
         self.scrubs.inc();
         let me = sub.core_node(core);
-        match &mut self.backend {
-            Backend::None => at,
-            Backend::Mem(table) => {
-                if let Some(m) = table.get_mut(&line.0) {
-                    m.clear_core(core);
-                    if m.is_empty() {
-                        table.remove(&line.0);
-                        self.displaced.remove(&line.0);
-                    }
-                }
-                let mem = sub.noc.mem_node(line);
-                let t1 = sub.noc.send(me, mem, 16, MsgClass::Metadata, at);
-                sub.dram
-                    .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaWrite, t1)
-            }
-            Backend::Aim(aim) => {
-                let bank = sub.bank_node(line);
-                let t1 = sub.noc.send(me, bank, 16, MsgClass::Metadata, at);
-                aim.clear_core(line, core);
-                Cycles(t1.0 + aim.latency)
-            }
+        let (t, entry_gone) = self.meta.scrub(sub, me, core, line, at);
+        if entry_gone {
+            self.displaced.remove(&line.0);
         }
+        t
     }
 
     /// Fill `line` into `core`'s L1, handling the victim: directory
@@ -383,7 +266,7 @@ impl MesiFamilyEngine {
         core: CoreId,
         line: LineAddr,
         now: Cycles,
-    ) -> (Cycles, MetaMap) {
+    ) -> RceResult<(Cycles, MetaMap)> {
         self.upgrades.inc();
         let me = sub.core_node(core);
         let bank = sub.bank_node(line);
@@ -412,7 +295,7 @@ impl MesiFamilyEngine {
             for s in sharers {
                 let st = self.l1[s.index()]
                     .invalidate(line)
-                    .expect("directory sharer must be resident");
+                    .ok_or_else(|| not_resident("directory sharer", s, line))?;
                 if self.detection() {
                     if Self::has_live_own(&st.meta, s, sub) {
                         self.foreign[s.index()].insert(line.0);
@@ -444,10 +327,10 @@ impl MesiFamilyEngine {
         sub.dir.set_owner(line, core);
         let l = self.l1[core.index()]
             .probe_mut(line)
-            .expect("upgrading line is resident");
+            .ok_or_else(|| not_resident("upgrading line", core, line))?;
         l.mesi = MesiState::M;
         l.dirty = true;
-        (t_done, incoming)
+        Ok((t_done, incoming))
     }
 
     /// Read miss.
@@ -457,7 +340,7 @@ impl MesiFamilyEngine {
         core: CoreId,
         line: LineAddr,
         now: Cycles,
-    ) -> (Cycles, MetaMap) {
+    ) -> RceResult<(Cycles, MetaMap)> {
         let me = sub.core_node(core);
         let bank = sub.bank_node(line);
         let piggy = self.piggy(sub);
@@ -486,7 +369,7 @@ impl MesiFamilyEngine {
             let (needs_writeback, owner_stays, meta_copy) = {
                 let st = self.l1[owner.index()]
                     .probe_mut(line)
-                    .expect("directory owner must be resident");
+                    .ok_or_else(|| not_resident("directory owner", owner, line))?;
                 if self.moesi && st.dirty {
                     // MOESI: the dirty owner downgrades to O, keeps its
                     // dirty data, and skips the LLC writeback.
@@ -552,7 +435,7 @@ impl MesiFamilyEngine {
             },
             done,
         );
-        (Cycles(done.0 + sub.cfg.l1.latency), incoming)
+        Ok((Cycles(done.0 + sub.cfg.l1.latency), incoming))
     }
 
     /// Write miss.
@@ -562,7 +445,7 @@ impl MesiFamilyEngine {
         core: CoreId,
         line: LineAddr,
         now: Cycles,
-    ) -> (Cycles, MetaMap) {
+    ) -> RceResult<(Cycles, MetaMap)> {
         let me = sub.core_node(core);
         let bank = sub.bank_node(line);
         let piggy = self.piggy(sub);
@@ -589,7 +472,7 @@ impl MesiFamilyEngine {
             );
             let st = self.l1[owner.index()]
                 .invalidate(line)
-                .expect("directory owner must be resident");
+                .ok_or_else(|| not_resident("directory owner", owner, line))?;
             if self.detection() {
                 if Self::has_live_own(&st.meta, owner, sub) {
                     self.foreign[owner.index()].insert(line.0);
@@ -621,7 +504,7 @@ impl MesiFamilyEngine {
                 for s in co_sharers {
                     let st = self.l1[s.index()]
                         .invalidate(line)
-                        .expect("directory sharer must be resident");
+                        .ok_or_else(|| not_resident("directory sharer", s, line))?;
                     if self.detection() {
                         if Self::has_live_own(&st.meta, s, sub) {
                             self.foreign[s.index()].insert(line.0);
@@ -653,7 +536,7 @@ impl MesiFamilyEngine {
                 for s in sharers {
                     let st = self.l1[s.index()]
                         .invalidate(line)
-                        .expect("directory sharer must be resident");
+                        .ok_or_else(|| not_resident("directory sharer", s, line))?;
                     if self.detection() {
                         if Self::has_live_own(&st.meta, s, sub) {
                             self.foreign[s.index()].insert(line.0);
@@ -691,7 +574,7 @@ impl MesiFamilyEngine {
             },
             t_done,
         );
-        (Cycles(t_done.0 + sub.cfg.l1.latency), incoming)
+        Ok((Cycles(t_done.0 + sub.cfg.l1.latency), incoming))
     }
 
     /// Directory/L1 consistency check (tests and debugging).
@@ -763,7 +646,7 @@ impl Engine for MesiFamilyEngine {
         mask: WordMask,
         kind: AccessType,
         now: Cycles,
-    ) -> AccessResult {
+    ) -> RceResult<AccessResult> {
         let line = addr.line();
         let region = sub.region_of(core);
         let l1_lat = sub.cfg.l1.latency;
@@ -772,14 +655,16 @@ impl Engine for MesiFamilyEngine {
         let (done, incoming) = match (state, kind) {
             (Some(_), AccessType::Read) => (Cycles(now.0 + l1_lat), MetaMap::new()),
             (Some(s), AccessType::Write) if s.can_write() => {
-                let l = self.l1[core.index()].probe_mut(line).expect("hit");
+                let l = self.l1[core.index()]
+                    .probe_mut(line)
+                    .ok_or_else(|| not_resident("write hit", core, line))?;
                 l.mesi = MesiState::M;
                 l.dirty = true;
                 (Cycles(now.0 + l1_lat), MetaMap::new())
             }
-            (Some(_), AccessType::Write) => self.upgrade(sub, core, line, now),
-            (None, AccessType::Read) => self.fetch_read(sub, core, line, now),
-            (None, AccessType::Write) => self.fetch_write(sub, core, line, now),
+            (Some(_), AccessType::Write) => self.upgrade(sub, core, line, now)?,
+            (None, AccessType::Read) => self.fetch_read(sub, core, line, now)?,
+            (None, AccessType::Write) => self.fetch_write(sub, core, line, now)?,
         };
 
         let mut exceptions = Vec::new();
@@ -787,25 +672,29 @@ impl Engine for MesiFamilyEngine {
             let dmask = sub.cfg.detect_mask(mask);
             let lref = self.l1[core.index()]
                 .probe_mut(line)
-                .expect("line resident after access");
+                .ok_or_else(|| not_resident("line after access", core, line))?;
             lref.meta.merge(&incoming);
-            let chk = lref.meta.check(core, kind, dmask, |c, r| sub.is_live(c, r));
-            if chk.any() {
-                let me = ConflictSide { core, region, kind };
-                exceptions = exceptions_from(&chk, me, line, done);
-                self.conflicts.add(exceptions.len() as u64);
-            }
-            lref.meta.record(core, region, kind, dmask);
+            let me = ConflictSide { core, region, kind };
+            exceptions =
+                self.detect
+                    .check_and_record(&mut lref.meta, me, dmask, line, done, |c, r| {
+                        sub.is_live(c, r)
+                    });
         }
-        AccessResult { done, exceptions }
+        Ok(AccessResult { done, exceptions })
     }
 
-    fn region_boundary(&mut self, sub: &mut Substrate, core: CoreId, now: Cycles) -> AccessResult {
+    fn region_boundary(
+        &mut self,
+        sub: &mut Substrate,
+        core: CoreId,
+        now: Cycles,
+    ) -> RceResult<AccessResult> {
         if !self.detection() {
-            return AccessResult {
+            return Ok(AccessResult {
                 done: now,
                 exceptions: Vec::new(),
-            };
+            });
         }
         // Local flash-clear of this core's bits (and opportunistic
         // pruning of dead remote bits riding our lines).
@@ -822,10 +711,10 @@ impl Engine for MesiFamilyEngine {
             let t = self.backend_scrub(sub, core, LineAddr(l), now);
             done = done.max(t);
         }
-        AccessResult {
+        Ok(AccessResult {
             done,
             exceptions: Vec::new(),
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -839,10 +728,7 @@ impl Engine for MesiFamilyEngine {
     }
 
     fn aim_totals(&self) -> Option<(u64, u64, u64, u64)> {
-        match &self.backend {
-            Backend::Aim(aim) => Some(aim.totals()),
-            _ => None,
-        }
+        self.meta.totals()
     }
 
     fn extra_counters(&self) -> Vec<(&'static str, u64)> {
@@ -854,7 +740,7 @@ impl Engine for MesiFamilyEngine {
             ("meta_pushes", self.meta_pushes.get()),
             ("meta_lookups", self.meta_lookups.get()),
             ("scrubs", self.scrubs.get()),
-            ("conflict_checks_hit", self.conflicts.get()),
+            ("conflict_checks_hit", self.detect.conflicts()),
         ]
     }
 }
@@ -862,6 +748,7 @@ impl Engine for MesiFamilyEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rce_common::MetaPlacement;
 
     fn setup(protocol: ProtocolKind, cores: usize) -> (MesiFamilyEngine, Substrate) {
         let cfg = MachineConfig::paper_default(cores, protocol);
@@ -887,6 +774,7 @@ mod tests {
             kind,
             Cycles(now),
         )
+        .unwrap()
     }
 
     #[test]
@@ -964,6 +852,18 @@ mod tests {
     }
 
     #[test]
+    fn ideal_placement_detects_like_ceplus() {
+        let cfg = MachineConfig::paper_default(2, ProtocolKind::CePlus)
+            .with_meta_placement(MetaPlacement::Ideal);
+        let mut e = MesiFamilyEngine::new(&cfg);
+        let mut s = Substrate::new(&cfg);
+        let w = acc(&mut e, &mut s, 0, 0x100, W, 0);
+        let r = acc(&mut e, &mut s, 1, 0x100, W, w.done.0);
+        assert_eq!(r.exceptions.len(), 1);
+        assert!(e.aim_totals().is_none(), "ideal store has no hit stats");
+    }
+
+    #[test]
     fn ce_detects_read_write_conflict_via_invalidation() {
         let (mut e, mut s) = setup(ProtocolKind::Ce, 2);
         let r = acc(&mut e, &mut s, 0, 0x100, R, 0);
@@ -978,7 +878,7 @@ mod tests {
         let (mut e, mut s) = setup(ProtocolKind::Ce, 2);
         let w = acc(&mut e, &mut s, 0, 0x100, W, 0);
         // Core 0's region ends.
-        let b = e.region_boundary(&mut s, CoreId(0), w.done);
+        let b = e.region_boundary(&mut s, CoreId(0), w.done).unwrap();
         s.advance_region(CoreId(0));
         let r = acc(&mut e, &mut s, 1, 0x100, W, b.done.0);
         assert!(r.exceptions.is_empty(), "regions were not concurrent");
@@ -1049,7 +949,7 @@ mod tests {
             t = acc(&mut e, &mut s, 0, base + i * 4096, R, t).done.0;
         }
         let before = s.dram.stats().metadata_bytes().0;
-        let b = e.region_boundary(&mut s, CoreId(0), Cycles(t));
+        let b = e.region_boundary(&mut s, CoreId(0), Cycles(t)).unwrap();
         assert!(b.done.0 > t, "scrub costs time");
         assert!(e.scrubs.get() >= 1);
         assert!(s.dram.stats().metadata_bytes().0 > before);
@@ -1080,7 +980,7 @@ mod tests {
             let r = acc(&mut e, &mut s, core, addr, kind, t);
             t = r.done.0.max(t) + 1;
             if i % 97 == 0 {
-                let b = e.region_boundary(&mut s, CoreId(core), Cycles(t));
+                let b = e.region_boundary(&mut s, CoreId(core), Cycles(t)).unwrap();
                 s.advance_region(CoreId(core));
                 t = b.done.0.max(t) + 1;
             }
@@ -1183,7 +1083,7 @@ mod tests {
             let r = acc(&mut e, &mut s, core, addr, kind, t);
             t = r.done.0.max(t) + 1;
             if i % 89 == 0 {
-                let b = e.region_boundary(&mut s, CoreId(core), Cycles(t));
+                let b = e.region_boundary(&mut s, CoreId(core), Cycles(t)).unwrap();
                 s.advance_region(CoreId(core));
                 t = b.done.0.max(t) + 1;
             }

@@ -1,10 +1,16 @@
-//! The four architecture engines.
+//! The architecture engines and the variant registry.
 //!
 //! [`MesiFamilyEngine`] implements the eager write-invalidation family
-//! (MESI baseline, CE, CE+ — one mechanism, three metadata backends);
-//! [`ArcEngine`] implements the release-consistency +
-//! self-invalidation design. See the crate docs for the design
-//! overview and DESIGN.md for the cost model.
+//! (MESI baseline, CE, CE+ — one coherence mechanism, pluggable
+//! metadata placements); [`ArcEngine`] implements the
+//! release-consistency + self-invalidation design. Both are
+//! compositions of three layers — coherence (this module), detection
+//! ([`crate::detect`]), metadata placement ([`crate::meta`]) — and the
+//! [`REGISTRY`] names the compositions worth running, including two
+//! that exist only because the layers are orthogonal: CE+ with an
+//! ideal metadata store, and ARC paying CE's off-chip metadata tax.
+//! See the crate docs for the design overview and DESIGN.md for the
+//! cost model.
 
 mod arc;
 mod mesi_family;
@@ -12,46 +18,116 @@ mod mesi_family;
 pub use arc::ArcEngine;
 pub use mesi_family::MesiFamilyEngine;
 
-use crate::access::ConflictCheck;
-use crate::exception::{ConflictException, ConflictSide};
-use rce_common::{Cycles, LineAddr};
+use rce_common::{MachineConfig, MetaPlacement, ProtocolKind};
 
-/// Materialize per-word exceptions from a conflict check result.
-pub(crate) fn exceptions_from(
-    check: &ConflictCheck,
-    me: ConflictSide,
-    line: LineAddr,
-    at: Cycles,
-) -> Vec<ConflictException> {
-    let mut out = Vec::new();
-    for (side, words) in &check.conflicts {
-        for w in words.iter() {
-            out.push(ConflictException::new(me, *side, line.word_addr(w), at));
-        }
+/// One named engine composition: a coherence/detection family plus a
+/// metadata placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineVariant {
+    /// The name accepted by CLIs (matched case-insensitively).
+    pub cli_name: &'static str,
+    /// Coherence + detection family.
+    pub protocol: ProtocolKind,
+    /// Metadata placement.
+    pub placement: MetaPlacement,
+    /// One-line description for listings.
+    pub summary: &'static str,
+}
+
+impl EngineVariant {
+    /// The paper-default configuration for this variant.
+    pub fn config(&self, cores: usize) -> MachineConfig {
+        MachineConfig::paper_default(cores, self.protocol).with_meta_placement(self.placement)
     }
-    out
+
+    /// True when this is one of the paper's four designs (placement is
+    /// the protocol's default) rather than a cross-composition.
+    pub fn is_paper_design(&self) -> bool {
+        self.placement == self.protocol.default_meta_placement()
+    }
+}
+
+/// Every named engine composition, paper designs first.
+pub const REGISTRY: [EngineVariant; 6] = [
+    EngineVariant {
+        cli_name: "MESI",
+        protocol: ProtocolKind::MesiBaseline,
+        placement: MetaPlacement::None,
+        summary: "eager-invalidation baseline, no detection",
+    },
+    EngineVariant {
+        cli_name: "CE",
+        protocol: ProtocolKind::Ce,
+        placement: MetaPlacement::Dram,
+        summary: "Conflict Exceptions, metadata in an off-chip DRAM table",
+    },
+    EngineVariant {
+        cli_name: "CE+",
+        protocol: ProtocolKind::CePlus,
+        placement: MetaPlacement::Aim,
+        summary: "Conflict Exceptions, metadata in the on-chip AIM",
+    },
+    EngineVariant {
+        cli_name: "ARC",
+        protocol: ProtocolKind::Arc,
+        placement: MetaPlacement::Aim,
+        summary: "self-invalidation coherence, detection at the LLC-side AIM",
+    },
+    EngineVariant {
+        cli_name: "CE+ideal",
+        protocol: ProtocolKind::CePlus,
+        placement: MetaPlacement::Ideal,
+        summary: "CE+ with an infinite zero-cost metadata store (upper bound)",
+    },
+    EngineVariant {
+        cli_name: "ARC-dram",
+        protocol: ProtocolKind::Arc,
+        placement: MetaPlacement::Dram,
+        summary: "ARC registering against CE's off-chip table (what the AIM buys)",
+    },
+];
+
+/// Look a variant up by CLI name, case-insensitively.
+pub fn find_variant(name: &str) -> Option<&'static EngineVariant> {
+    REGISTRY
+        .iter()
+        .find(|v| v.cli_name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::access::MetaMap;
-    use crate::exception::AccessType;
-    use rce_common::{CoreId, RegionId, WordIdx, WordMask};
 
     #[test]
-    fn exceptions_expand_per_word() {
-        let mut m = MetaMap::new();
-        m.record(CoreId(1), RegionId(4), AccessType::Write, WordMask(0b11));
-        let chk = m.check(CoreId(0), AccessType::Write, WordMask(0b11), |_, _| true);
-        let me = ConflictSide {
-            core: CoreId(0),
-            region: RegionId(9),
-            kind: AccessType::Write,
-        };
-        let ex = exceptions_from(&chk, me, LineAddr(2), Cycles(5));
-        assert_eq!(ex.len(), 2);
-        assert_eq!(ex[0].word_addr, LineAddr(2).word_addr(WordIdx(0)));
-        assert_eq!(ex[1].word_addr, LineAddr(2).word_addr(WordIdx(1)));
+    fn registry_lookup_is_case_insensitive() {
+        assert_eq!(find_variant("ce+").unwrap().cli_name, "CE+");
+        assert_eq!(
+            find_variant("ARC-DRAM").unwrap().placement,
+            MetaPlacement::Dram
+        );
+        assert!(find_variant("nonesuch").is_none());
+    }
+
+    #[test]
+    fn registry_configs_validate() {
+        for v in &REGISTRY {
+            let cfg = v.config(4);
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", v.cli_name));
+            assert_eq!(cfg.protocol, v.protocol);
+            assert_eq!(cfg.meta_placement, v.placement);
+        }
+    }
+
+    #[test]
+    fn paper_designs_lead_the_registry() {
+        assert!(REGISTRY[..4].iter().all(|v| v.is_paper_design()));
+        assert!(REGISTRY[4..].iter().all(|v| !v.is_paper_design()));
+        // CLI names are unique even case-insensitively.
+        for (i, a) in REGISTRY.iter().enumerate() {
+            for b in &REGISTRY[i + 1..] {
+                assert!(!a.cli_name.eq_ignore_ascii_case(b.cli_name));
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@
 //!   starts from.
 //! - *CE+* mode: identical coherence, but spills/scrubs go to the
 //!   **access information memory (AIM)** — an on-chip metadata cache at
-//!   the LLC banks ([`aim`]). Off-chip metadata traffic mostly
+//!   the LLC banks ([`meta`]). Off-chip metadata traffic mostly
 //!   disappears (claim C1) while eager invalidation coherence plus
 //!   per-message metadata piggybacks keep stressing the NoC (claim C2).
 //! - [`engines::ArcEngine`]: the ARC design — coherence based on
@@ -34,20 +34,22 @@
 #![deny(unsafe_code)]
 
 pub mod access;
-pub mod aim;
+pub mod detect;
 pub mod engines;
 pub mod exception;
 pub mod machine;
+pub mod meta;
 pub mod oracle;
 pub mod protocol;
 pub mod report;
 pub mod sync;
 
 pub use access::{ConflictCheck, MetaMap};
-pub use aim::Aim;
-pub use engines::{ArcEngine, MesiFamilyEngine};
+pub use detect::Detector;
+pub use engines::{find_variant, ArcEngine, EngineVariant, MesiFamilyEngine, REGISTRY};
 pub use exception::{AccessType, ConflictException, ExceptionPolicy};
 pub use machine::Machine;
+pub use meta::{backend_for, AimMeta, AimOutcome, DramMeta, IdealMeta, MetaBackend, NoMeta};
 pub use oracle::Oracle;
 pub use protocol::{AccessResult, Engine, Substrate};
 pub use report::SimReport;

@@ -212,9 +212,9 @@ impl Machine {
             region_ops: &mut [u64],
             region_len: &mut rce_common::Histogram,
             boundary_cost: &mut rce_common::Histogram,
-        ) -> Cycles {
+        ) -> RceResult<Cycles> {
             let old_region = sub.region_of(core);
-            let b = engine.region_boundary(sub, core, now);
+            let b = engine.region_boundary(sub, core, now)?;
             let new_region = sub.advance_region(core);
             oracle.region_boundary(core, new_region);
             *regions += 1;
@@ -238,7 +238,7 @@ impl Machine {
                 region: Some(new_region.0),
                 kind: EventKind::RegionBegin,
             });
-            done
+            Ok(done)
         }
 
         'run: loop {
@@ -283,7 +283,7 @@ impl Machine {
                     &mut region_ops,
                     &mut region_len,
                     &mut boundary_cost,
-                );
+                )?;
                 clock[c] = done;
                 status[c] = Status::Done;
                 per_core[c].finish = done;
@@ -305,7 +305,7 @@ impl Machine {
                     };
                     mem_ops += 1;
                     let mask = WordMask::span(addr, len as u64);
-                    let res = engine.access(&mut sub, core, addr, mask, kind, now);
+                    let res = engine.access(&mut sub, core, addr, mask, kind, now)?;
                     let dmask = self.cfg.detect_mask(mask);
                     sub.trace(EventClass::Access, || SimEvent {
                         cycle: now.0,
@@ -374,7 +374,7 @@ impl Machine {
                         &mut region_ops,
                         &mut region_len,
                         &mut boundary_cost,
-                    );
+                    )?;
                     match locks.acquire(lock, core, done) {
                         AcquireOutcome::Granted(t) => clock[c] = t,
                         AcquireOutcome::Blocked => {
@@ -396,7 +396,7 @@ impl Machine {
                         &mut region_ops,
                         &mut region_len,
                         &mut boundary_cost,
-                    );
+                    )?;
                     if let Some((next, t)) = locks.release(lock, core, done) {
                         let ni = next.index();
                         debug_assert_eq!(status[ni], Status::BlockedLock);
@@ -418,7 +418,7 @@ impl Machine {
                         &mut region_ops,
                         &mut region_len,
                         &mut boundary_cost,
-                    );
+                    )?;
                     clock[c] = done;
                     match barriers.arrive(bar, core, done) {
                         BarrierOutcome::Blocked => status[c] = Status::BlockedBarrier,

@@ -1,0 +1,929 @@
+//! The metadata layer: pluggable backends for displaced/registered
+//! access bits.
+//!
+//! Every detection design needs a home for access metadata that is no
+//! longer attached to a private cache line: CE keeps it in an off-chip
+//! DRAM table, CE+ and ARC in the on-chip **access information memory
+//! (AIM)** colocated with the LLC banks, spilling AIM victims to a
+//! DRAM overflow table. The [`MetaBackend`] trait captures everything
+//! the coherence layers need from that store — fetch/push/scrub for
+//! the MESI family's displaced-bits protocol, ensure/entry/clear for
+//! ARC's LLC-side registration protocol — and each implementation owns
+//! its full cost model: NoC messages, DRAM metadata accesses,
+//! [`EventClass::Aim`] trace events, and hit/miss/spill accounting.
+//!
+//! Placements ([`rce_common::MetaPlacement`]):
+//! - [`DramMeta`] — CE's table; every touch is an off-chip round trip.
+//! - [`AimMeta`] — the bounded set-associative AIM (subsumes the old
+//!   `aim` module); only victims with live bits spill to DRAM.
+//! - [`IdealMeta`] — infinite capacity, zero latency, zero traffic:
+//!   the bound no real AIM geometry can beat.
+//! - [`NoMeta`] — the baseline's placeholder; using it is a bug.
+//!
+//! The engines stay storage-agnostic: they decide *when* metadata
+//! moves, the backend decides *what that costs*.
+
+use crate::access::MetaMap;
+use crate::protocol::Substrate;
+use rce_cache::SetAssoc;
+use rce_common::obs::{EventClass, EventKind, SimEvent};
+use rce_common::{AimConfig, CoreId, Counter, Cycles, LineAddr, MachineConfig, MetaPlacement};
+use rce_dram::AccessKind as DramKind;
+use rce_noc::{MsgClass, NodeId};
+use std::collections::HashMap;
+
+/// Bytes of a metadata request/response header on the NoC (the entry
+/// payload itself is charged via `AimConfig::entry_bytes`).
+const META_MSG_BYTES: u64 = 16;
+
+/// What an AIM `ensure` had to do to make a line's entry resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AimOutcome {
+    /// The entry was found resident (metadata hit).
+    pub hit: bool,
+    /// A spilled entry was brought back from the DRAM table (charge a
+    /// metadata read).
+    pub refilled: bool,
+    /// A victim entry with live metadata was spilled to the DRAM table
+    /// (charge a metadata write).
+    pub spilled: bool,
+}
+
+/// One home for not-in-L1 access metadata, with its cost model.
+///
+/// The first three methods implement the MESI family's displaced-bits
+/// protocol, the last three ARC's LLC-side registration protocol; both
+/// families may be composed with any placement. Implementations must
+/// charge their NoC/DRAM costs through `sub` in a fixed order — the
+/// byte-identity golden tests pin the resulting contention patterns.
+pub trait MetaBackend {
+    /// Consult the store for displaced metadata of `line`; the request
+    /// is at the line's home bank at `t`. Returns the ready time and
+    /// the *removed* metadata — bits ride back into the requesting L1,
+    /// matching CE's bits-travel-with-the-line design.
+    fn fetch(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap);
+
+    /// Merge displaced metadata (from an evicted/invalidated copy)
+    /// into the store. `src` is the node the bits leave from. Off the
+    /// critical path: traffic and store occupancy only.
+    fn push(&mut self, sub: &mut Substrate, src: NodeId, line: LineAddr, meta: MetaMap, at: Cycles);
+
+    /// Region-end scrub of one displaced line: clear `core`'s bits
+    /// wherever they live, charging the round trip from `src`. Returns
+    /// the completion time and whether the line's entry emptied out
+    /// and was dropped (so the engine can forget the displacement).
+    fn scrub(
+        &mut self,
+        sub: &mut Substrate,
+        src: NodeId,
+        core: CoreId,
+        line: LineAddr,
+        at: Cycles,
+    ) -> (Cycles, bool);
+
+    /// Make `line`'s entry usable for [`MetaBackend::entry_mut`]; the
+    /// request is already at the line's home bank at `t`. Returns when
+    /// the entry is ready (after any spill/refill side effects).
+    fn ensure_at(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles;
+
+    /// The entry for `line`. For the AIM this requires a prior
+    /// [`MetaBackend::ensure_at`] (the entry must be resident);
+    /// unbounded placements allocate on demand.
+    fn entry_mut(&mut self, line: LineAddr) -> &mut MetaMap;
+
+    /// ARC region-end registration clear for one line: drop `core`'s
+    /// bits, with the clearing message already at the home bank at
+    /// `t`. Returns when the clear completes.
+    fn boundary_clear(
+        &mut self,
+        sub: &mut Substrate,
+        line: LineAddr,
+        core: CoreId,
+        t: Cycles,
+    ) -> Cycles;
+
+    /// `(accesses, hits, misses, spills)` when the placement has a
+    /// meaningful cache behind it; `None` otherwise (the report's AIM
+    /// section is omitted).
+    fn totals(&self) -> Option<(u64, u64, u64, u64)>;
+
+    /// Which placement this backend implements.
+    fn placement(&self) -> MetaPlacement;
+}
+
+/// Build the backend selected by `cfg.meta_placement`.
+pub fn backend_for(cfg: &MachineConfig) -> Box<dyn MetaBackend> {
+    match cfg.meta_placement {
+        MetaPlacement::None => Box::new(NoMeta),
+        MetaPlacement::Dram => Box::new(DramMeta::new()),
+        MetaPlacement::Aim => Box::new(AimMeta::new(&cfg.aim)),
+        MetaPlacement::Ideal => Box::new(IdealMeta::new()),
+    }
+}
+
+// ---------------------------------------------------------------- NoMeta
+
+/// The baseline's placeholder: no metadata exists, so no operation is
+/// ever legal except the trivially-empty fetch.
+pub struct NoMeta;
+
+impl MetaBackend for NoMeta {
+    fn fetch(&mut self, _sub: &mut Substrate, _line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
+        (t, MetaMap::new())
+    }
+
+    fn push(
+        &mut self,
+        _sub: &mut Substrate,
+        _src: NodeId,
+        _line: LineAddr,
+        _meta: MetaMap,
+        _at: Cycles,
+    ) {
+        unreachable!("no pushes in baseline mode")
+    }
+
+    fn scrub(
+        &mut self,
+        _sub: &mut Substrate,
+        _src: NodeId,
+        _core: CoreId,
+        _line: LineAddr,
+        at: Cycles,
+    ) -> (Cycles, bool) {
+        (at, false)
+    }
+
+    fn ensure_at(&mut self, _sub: &mut Substrate, _line: LineAddr, _t: Cycles) -> Cycles {
+        unreachable!("no registrations in baseline mode")
+    }
+
+    fn entry_mut(&mut self, _line: LineAddr) -> &mut MetaMap {
+        unreachable!("no metadata entries in baseline mode")
+    }
+
+    fn boundary_clear(
+        &mut self,
+        _sub: &mut Substrate,
+        _line: LineAddr,
+        _core: CoreId,
+        _t: Cycles,
+    ) -> Cycles {
+        unreachable!("no registrations in baseline mode")
+    }
+
+    fn totals(&self) -> Option<(u64, u64, u64, u64)> {
+        None
+    }
+
+    fn placement(&self) -> MetaPlacement {
+        MetaPlacement::None
+    }
+}
+
+// --------------------------------------------------------------- DramMeta
+
+/// CE's off-chip metadata table: a DRAM-resident map, reached through
+/// the line's home bank and memory controller. Every touch is a full
+/// off-chip round trip — the metadata tax CE+ exists to remove.
+#[derive(Debug, Clone, Default)]
+pub struct DramMeta {
+    table: HashMap<u64, MetaMap>,
+}
+
+impl DramMeta {
+    /// Empty table.
+    pub fn new() -> Self {
+        DramMeta::default()
+    }
+
+    /// Number of lines with displaced metadata.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl MetaBackend for DramMeta {
+    fn fetch(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
+        let m = self.table.remove(&line.0).unwrap_or_default();
+        let bank = sub.bank_node(line);
+        let mem = sub.noc.mem_node(line);
+        let t1 = sub
+            .noc
+            .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t);
+        let t2 = sub
+            .dram
+            .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaRead, t1);
+        let t3 = sub
+            .noc
+            .send(mem, bank, META_MSG_BYTES, MsgClass::Metadata, t2);
+        (t3, m)
+    }
+
+    fn push(
+        &mut self,
+        sub: &mut Substrate,
+        src: NodeId,
+        line: LineAddr,
+        meta: MetaMap,
+        at: Cycles,
+    ) {
+        let mem = sub.noc.mem_node(line);
+        let t1 = sub
+            .noc
+            .send(src, mem, META_MSG_BYTES, MsgClass::Metadata, at);
+        let _ = sub
+            .dram
+            .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaWrite, t1);
+        self.table.entry(line.0).or_default().merge(&meta);
+    }
+
+    fn scrub(
+        &mut self,
+        sub: &mut Substrate,
+        src: NodeId,
+        core: CoreId,
+        line: LineAddr,
+        at: Cycles,
+    ) -> (Cycles, bool) {
+        let mut gone = false;
+        if let Some(m) = self.table.get_mut(&line.0) {
+            m.clear_core(core);
+            if m.is_empty() {
+                self.table.remove(&line.0);
+                gone = true;
+            }
+        }
+        let mem = sub.noc.mem_node(line);
+        let t1 = sub
+            .noc
+            .send(src, mem, META_MSG_BYTES, MsgClass::Metadata, at);
+        let done = sub
+            .dram
+            .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaWrite, t1);
+        (done, gone)
+    }
+
+    fn ensure_at(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
+        // The registration must consult the off-chip table: bank ->
+        // memory controller -> DRAM -> back.
+        self.table.entry(line.0).or_default();
+        let bank = sub.bank_node(line);
+        let mem = sub.noc.mem_node(line);
+        let t1 = sub
+            .noc
+            .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t);
+        let t2 = sub
+            .dram
+            .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaRead, t1);
+        sub.noc
+            .send(mem, bank, META_MSG_BYTES, MsgClass::Metadata, t2)
+    }
+
+    fn entry_mut(&mut self, line: LineAddr) -> &mut MetaMap {
+        self.table.entry(line.0).or_default()
+    }
+
+    fn boundary_clear(
+        &mut self,
+        sub: &mut Substrate,
+        line: LineAddr,
+        core: CoreId,
+        t: Cycles,
+    ) -> Cycles {
+        if let Some(m) = self.table.get_mut(&line.0) {
+            m.clear_core(core);
+            if m.is_empty() {
+                self.table.remove(&line.0);
+            }
+        }
+        // The clear is forwarded to the off-chip table.
+        let bank = sub.bank_node(line);
+        let mem = sub.noc.mem_node(line);
+        let t1 = sub
+            .noc
+            .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t);
+        sub.dram
+            .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaWrite, t1)
+    }
+
+    fn totals(&self) -> Option<(u64, u64, u64, u64)> {
+        None
+    }
+
+    fn placement(&self) -> MetaPlacement {
+        MetaPlacement::Dram
+    }
+}
+
+// ---------------------------------------------------------------- AimMeta
+
+/// The access information memory — the on-chip metadata cache that
+/// turns CE into CE+ and backs ARC's LLC-side detection.
+///
+/// A set-associative cache of [`MetaMap`]s keyed by line address,
+/// physically distributed alongside the LLC banks (an AIM slice sits
+/// at each line's home bank, so reaching it costs the same NoC trip a
+/// coherence request already makes). Entries evicted from the AIM
+/// spill to a DRAM-backed table and are refilled on demand.
+#[derive(Debug, Clone)]
+pub struct AimMeta {
+    array: SetAssoc<MetaMap>,
+    /// DRAM-backed overflow table.
+    backing: HashMap<u64, MetaMap>,
+    /// Entry size in bytes when spilled / transferred.
+    pub entry_bytes: u64,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// Total AIM lookups.
+    pub accesses: Counter,
+    /// Lookups that found the entry resident.
+    pub hits: Counter,
+    /// Lookups that did not.
+    pub misses: Counter,
+    /// Entries spilled to DRAM.
+    pub spills: Counter,
+    /// Entries refilled from DRAM.
+    pub refills: Counter,
+}
+
+impl AimMeta {
+    /// Build from configuration.
+    pub fn new(cfg: &AimConfig) -> Self {
+        AimMeta {
+            array: SetAssoc::with_entries(cfg.entries, cfg.ways),
+            backing: HashMap::new(),
+            entry_bytes: cfg.entry_bytes,
+            latency: cfg.latency,
+            accesses: Counter::default(),
+            hits: Counter::default(),
+            misses: Counter::default(),
+            spills: Counter::default(),
+            refills: Counter::default(),
+        }
+    }
+
+    /// Make `line`'s entry resident (allocating an empty one if truly
+    /// new), possibly refilling from or spilling to the DRAM table.
+    pub fn ensure(&mut self, line: LineAddr) -> AimOutcome {
+        self.accesses.inc();
+        if self.array.contains(line.0) {
+            self.hits.inc();
+            // Touch for recency.
+            let _ = self.array.get_mut(line.0);
+            return AimOutcome {
+                hit: true,
+                ..Default::default()
+            };
+        }
+        self.misses.inc();
+        let (entry, refilled) = match self.backing.remove(&line.0) {
+            Some(m) => (m, true),
+            None => (MetaMap::new(), false),
+        };
+        if refilled {
+            self.refills.inc();
+        }
+        let mut spilled = false;
+        if let Some((victim, vmeta)) = self.array.insert(line.0, entry) {
+            if !vmeta.is_empty() {
+                self.backing.insert(victim, vmeta);
+                self.spills.inc();
+                spilled = true;
+            }
+        }
+        AimOutcome {
+            hit: false,
+            refilled,
+            spilled,
+        }
+    }
+
+    /// The resident entry for `line`. Panics if not ensured first.
+    pub fn entry(&mut self, line: LineAddr) -> &mut MetaMap {
+        self.array
+            .get_mut(line.0)
+            .expect("AIM entry must be ensured before use")
+    }
+
+    /// Scrub one core's bits for `line`, wherever the entry lives
+    /// (resident or spilled). Returns true if bits were present.
+    pub fn clear_core(&mut self, line: LineAddr, core: CoreId) -> bool {
+        self.accesses.inc();
+        if let Some(m) = self.array.get_mut(line.0) {
+            self.hits.inc();
+            return m.clear_core(core);
+        }
+        self.misses.inc();
+        if let Some(m) = self.backing.get_mut(&line.0) {
+            let had = m.clear_core(core);
+            if m.is_empty() {
+                self.backing.remove(&line.0);
+            }
+            return had;
+        }
+        false
+    }
+
+    /// Drop dead entries everywhere (housekeeping; free of model cost
+    /// because region tags already neutralize stale bits — see
+    /// DESIGN.md).
+    pub fn prune(&mut self, live: impl Fn(CoreId, rce_common::RegionId) -> bool) {
+        for (_, m) in self.array.iter_mut() {
+            m.prune(&live);
+        }
+        self.backing.retain(|_, m| {
+            m.prune(&live);
+            !m.is_empty()
+        });
+    }
+
+    /// Resident entry count.
+    pub fn resident(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Spilled entry count.
+    pub fn spilled_entries(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// Hit rate over all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits.as_f64() / total as f64
+        }
+    }
+
+    /// Emit the hit/miss (and spill) trace events for one `ensure`.
+    fn trace_outcome(&self, sub: &Substrate, line: LineAddr, o: AimOutcome, t: Cycles) {
+        sub.trace(EventClass::Aim, || SimEvent {
+            cycle: t.0,
+            core: None,
+            region: None,
+            kind: if o.hit {
+                EventKind::AimHit { line: line.0 }
+            } else {
+                EventKind::AimMiss {
+                    line: line.0,
+                    refilled: o.refilled,
+                }
+            },
+        });
+        if o.spilled {
+            sub.trace(EventClass::Aim, || SimEvent {
+                cycle: t.0,
+                core: None,
+                region: None,
+                kind: EventKind::AimSpill { line: line.0 },
+            });
+        }
+    }
+}
+
+impl MetaBackend for AimMeta {
+    fn fetch(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
+        let o = self.ensure(line);
+        self.trace_outcome(sub, line, o, t);
+        let bank = sub.bank_node(line);
+        let mem = sub.noc.mem_node(line);
+        let mut ready = Cycles(t.0 + self.latency);
+        if o.refilled {
+            // The entry itself had spilled to DRAM: fetch it.
+            let t1 = sub
+                .noc
+                .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t);
+            let t2 = sub
+                .dram
+                .access(line, self.entry_bytes, DramKind::MetaRead, t1);
+            ready = sub
+                .noc
+                .send(mem, bank, META_MSG_BYTES, MsgClass::Metadata, t2);
+        }
+        if o.spilled {
+            // Victim spill: traffic only, off the critical path.
+            let t1 = sub
+                .noc
+                .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t);
+            let _ = sub
+                .dram
+                .access(line, self.entry_bytes, DramKind::MetaWrite, t1);
+        }
+        let m = std::mem::take(self.entry(line));
+        (ready, m)
+    }
+
+    fn push(
+        &mut self,
+        sub: &mut Substrate,
+        src: NodeId,
+        line: LineAddr,
+        meta: MetaMap,
+        at: Cycles,
+    ) {
+        let bank = sub.bank_node(line);
+        let t1 = sub
+            .noc
+            .send(src, bank, META_MSG_BYTES, MsgClass::Metadata, at);
+        let o = self.ensure(line);
+        self.trace_outcome(sub, line, o, at);
+        if o.spilled {
+            let mem = sub.noc.mem_node(line);
+            let t2 = sub
+                .noc
+                .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t1);
+            let _ = sub
+                .dram
+                .access(line, self.entry_bytes, DramKind::MetaWrite, t2);
+        }
+        if o.refilled {
+            let mem = sub.noc.mem_node(line);
+            let t2 = sub
+                .noc
+                .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t1);
+            let _ = sub
+                .dram
+                .access(line, self.entry_bytes, DramKind::MetaRead, t2);
+        }
+        self.entry(line).merge(&meta);
+    }
+
+    fn scrub(
+        &mut self,
+        sub: &mut Substrate,
+        src: NodeId,
+        core: CoreId,
+        line: LineAddr,
+        at: Cycles,
+    ) -> (Cycles, bool) {
+        let bank = sub.bank_node(line);
+        let t1 = sub
+            .noc
+            .send(src, bank, META_MSG_BYTES, MsgClass::Metadata, at);
+        self.clear_core(line, core);
+        (Cycles(t1.0 + self.latency), false)
+    }
+
+    fn ensure_at(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
+        let o = self.ensure(line);
+        self.trace_outcome(sub, line, o, t);
+        let bank = sub.bank_node(line);
+        let mem = sub.noc.mem_node(line);
+        let mut ready = Cycles(t.0 + self.latency);
+        if o.refilled {
+            let t1 = sub
+                .noc
+                .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t);
+            let t2 = sub
+                .dram
+                .access(line, self.entry_bytes, DramKind::MetaRead, t1);
+            ready = sub
+                .noc
+                .send(mem, bank, META_MSG_BYTES, MsgClass::Metadata, t2);
+        }
+        if o.spilled {
+            let t1 = sub
+                .noc
+                .send(bank, mem, META_MSG_BYTES, MsgClass::Metadata, t);
+            let _ = sub
+                .dram
+                .access(line, self.entry_bytes, DramKind::MetaWrite, t1);
+        }
+        ready
+    }
+
+    fn entry_mut(&mut self, line: LineAddr) -> &mut MetaMap {
+        self.entry(line)
+    }
+
+    fn boundary_clear(
+        &mut self,
+        _sub: &mut Substrate,
+        line: LineAddr,
+        core: CoreId,
+        t: Cycles,
+    ) -> Cycles {
+        self.clear_core(line, core);
+        Cycles(t.0 + self.latency)
+    }
+
+    fn totals(&self) -> Option<(u64, u64, u64, u64)> {
+        Some((
+            self.accesses.get(),
+            self.hits.get(),
+            self.misses.get(),
+            self.spills.get(),
+        ))
+    }
+
+    fn placement(&self) -> MetaPlacement {
+        MetaPlacement::Aim
+    }
+}
+
+// -------------------------------------------------------------- IdealMeta
+
+/// An infinite zero-latency metadata store: never spills, never pays a
+/// cycle or a byte. Physically unbuildable; it bounds from below what
+/// any AIM geometry could achieve, which is exactly what the
+/// sensitivity study needs.
+#[derive(Debug, Clone, Default)]
+pub struct IdealMeta {
+    table: HashMap<u64, MetaMap>,
+}
+
+impl IdealMeta {
+    /// Empty store.
+    pub fn new() -> Self {
+        IdealMeta::default()
+    }
+
+    /// Number of lines with metadata.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl MetaBackend for IdealMeta {
+    fn fetch(&mut self, _sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
+        (t, self.table.remove(&line.0).unwrap_or_default())
+    }
+
+    fn push(
+        &mut self,
+        _sub: &mut Substrate,
+        _src: NodeId,
+        line: LineAddr,
+        meta: MetaMap,
+        _at: Cycles,
+    ) {
+        self.table.entry(line.0).or_default().merge(&meta);
+    }
+
+    fn scrub(
+        &mut self,
+        _sub: &mut Substrate,
+        _src: NodeId,
+        core: CoreId,
+        line: LineAddr,
+        at: Cycles,
+    ) -> (Cycles, bool) {
+        let mut gone = false;
+        if let Some(m) = self.table.get_mut(&line.0) {
+            m.clear_core(core);
+            if m.is_empty() {
+                self.table.remove(&line.0);
+                gone = true;
+            }
+        }
+        (at, gone)
+    }
+
+    fn ensure_at(&mut self, _sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
+        self.table.entry(line.0).or_default();
+        t
+    }
+
+    fn entry_mut(&mut self, line: LineAddr) -> &mut MetaMap {
+        self.table.entry(line.0).or_default()
+    }
+
+    fn boundary_clear(
+        &mut self,
+        _sub: &mut Substrate,
+        line: LineAddr,
+        core: CoreId,
+        t: Cycles,
+    ) -> Cycles {
+        if let Some(m) = self.table.get_mut(&line.0) {
+            m.clear_core(core);
+            if m.is_empty() {
+                self.table.remove(&line.0);
+            }
+        }
+        t
+    }
+
+    fn totals(&self) -> Option<(u64, u64, u64, u64)> {
+        None
+    }
+
+    fn placement(&self) -> MetaPlacement {
+        MetaPlacement::Ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::AccessType;
+    use rce_common::{ProtocolKind, RegionId, WordIdx, WordMask};
+
+    fn small_aim() -> AimMeta {
+        AimMeta::new(&AimConfig {
+            entries: 8,
+            ways: 2,
+            latency: 4,
+            entry_bytes: 16,
+        })
+    }
+
+    #[test]
+    fn ensure_then_entry() {
+        let mut a = small_aim();
+        let o = a.ensure(LineAddr(1));
+        assert!(!o.hit && !o.refilled && !o.spilled);
+        a.entry(LineAddr(1)).record(
+            CoreId(0),
+            RegionId(1),
+            AccessType::Write,
+            WordMask::single(WordIdx(0)),
+        );
+        let o = a.ensure(LineAddr(1));
+        assert!(o.hit);
+        assert!(a.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn spill_and_refill_roundtrip() {
+        let mut a = small_aim(); // 4 sets x 2 ways
+                                 // Fill set 0 (lines 0, 4) with live metadata, then overflow it.
+        for l in [0u64, 4] {
+            a.ensure(LineAddr(l));
+            a.entry(LineAddr(l))
+                .record(CoreId(0), RegionId(1), AccessType::Read, WordMask::FULL);
+        }
+        let o = a.ensure(LineAddr(8)); // same set, evicts LRU (line 0)
+        assert!(o.spilled);
+        assert_eq!(a.spilled_entries(), 1);
+        // Touching line 0 again refills from backing.
+        let o = a.ensure(LineAddr(0));
+        assert!(o.refilled);
+        assert!(
+            !a.entry(LineAddr(0)).is_empty(),
+            "metadata survived the spill"
+        );
+        assert!(a.spilled_entries() <= 1);
+    }
+
+    #[test]
+    fn empty_victims_are_not_spilled() {
+        let mut a = small_aim();
+        for l in [0u64, 4, 8] {
+            a.ensure(LineAddr(l)); // all empty entries
+        }
+        assert_eq!(a.spills.get(), 0);
+        assert_eq!(a.spilled_entries(), 0);
+    }
+
+    #[test]
+    fn clear_core_resident_and_spilled() {
+        let mut a = small_aim();
+        a.ensure(LineAddr(3));
+        a.entry(LineAddr(3)).record(
+            CoreId(2),
+            RegionId(5),
+            AccessType::Write,
+            WordMask::single(WordIdx(1)),
+        );
+        assert!(a.clear_core(LineAddr(3), CoreId(2)));
+        assert!(!a.clear_core(LineAddr(3), CoreId(2)));
+
+        // Spilled path.
+        a.entry(LineAddr(3)).record(
+            CoreId(1),
+            RegionId(9),
+            AccessType::Read,
+            WordMask::single(WordIdx(0)),
+        );
+        a.ensure(LineAddr(7));
+        a.ensure(LineAddr(11)); // set 3: 3, 7, 11 -> spills line 3
+        assert_eq!(a.spilled_entries(), 1);
+        assert!(a.clear_core(LineAddr(3), CoreId(1)));
+        assert_eq!(a.spilled_entries(), 0, "empty spilled entries are dropped");
+    }
+
+    #[test]
+    fn prune_drops_dead_metadata() {
+        let mut a = small_aim();
+        a.ensure(LineAddr(1));
+        a.entry(LineAddr(1))
+            .record(CoreId(0), RegionId(1), AccessType::Write, WordMask::FULL);
+        a.prune(|_, _| false);
+        assert!(a.entry(LineAddr(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ensured")]
+    fn entry_requires_ensure() {
+        let mut a = small_aim();
+        let _ = a.entry(LineAddr(42));
+    }
+
+    fn sub() -> Substrate {
+        Substrate::new(&MachineConfig::paper_default(4, ProtocolKind::CePlus))
+    }
+
+    fn meta_with_bits(core: u16, region: u64) -> MetaMap {
+        let mut m = MetaMap::new();
+        m.record(
+            CoreId(core),
+            RegionId(region),
+            AccessType::Write,
+            WordMask::single(WordIdx(2)),
+        );
+        m
+    }
+
+    #[test]
+    fn backend_for_matches_placement() {
+        for (proto, placement) in [
+            (ProtocolKind::MesiBaseline, MetaPlacement::None),
+            (ProtocolKind::Ce, MetaPlacement::Dram),
+            (ProtocolKind::CePlus, MetaPlacement::Aim),
+            (ProtocolKind::Arc, MetaPlacement::Aim),
+        ] {
+            let cfg = MachineConfig::paper_default(4, proto);
+            assert_eq!(backend_for(&cfg).placement(), placement);
+        }
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::CePlus)
+            .with_meta_placement(MetaPlacement::Ideal);
+        assert_eq!(backend_for(&cfg).placement(), MetaPlacement::Ideal);
+    }
+
+    #[test]
+    fn dram_push_fetch_roundtrip_charges_offchip() {
+        let mut s = sub();
+        let mut b = DramMeta::new();
+        let line = LineAddr(12);
+        let src = s.core_node(CoreId(0));
+        b.push(&mut s, src, line, meta_with_bits(0, 0), Cycles(0));
+        assert_eq!(b.entries(), 1);
+        assert!(s.dram.stats().metadata_bytes().0 > 0, "push writes DRAM");
+        let before = s.dram.stats().metadata_bytes().0;
+        let (ready, m) = b.fetch(&mut s, line, Cycles(100));
+        assert!(ready.0 > 100, "fetch is an off-chip round trip");
+        assert!(!m.is_empty(), "bits came back");
+        assert_eq!(b.entries(), 0, "fetch removes the entry");
+        assert!(s.dram.stats().metadata_bytes().0 > before);
+    }
+
+    #[test]
+    fn dram_scrub_reports_emptied_entries() {
+        let mut s = sub();
+        let mut b = DramMeta::new();
+        let line = LineAddr(5);
+        let src = s.core_node(CoreId(1));
+        b.push(&mut s, src, line, meta_with_bits(1, 7), Cycles(0));
+        let (t, gone) = b.scrub(&mut s, src, CoreId(1), line, Cycles(50));
+        assert!(gone, "the only core's bits were cleared");
+        assert!(t.0 > 50, "scrub pays the off-chip write");
+        // Scrubbing an absent line still charges (the hardware cannot
+        // know the entry is gone without the round trip).
+        let (_, gone2) = b.scrub(&mut s, src, CoreId(1), line, t);
+        assert!(!gone2);
+    }
+
+    #[test]
+    fn ideal_is_free_and_lossless() {
+        let mut s = sub();
+        let mut b = IdealMeta::new();
+        let line = LineAddr(3);
+        let src = s.core_node(CoreId(0));
+        let noc0 = s.noc.stats().total_bytes().0;
+        let dram0 = s.dram.stats().total_bytes().0;
+        b.push(&mut s, src, line, meta_with_bits(0, 0), Cycles(0));
+        assert_eq!(b.ensure_at(&mut s, line, Cycles(9)), Cycles(9));
+        let t = b.boundary_clear(&mut s, line, CoreId(3), Cycles(11));
+        assert_eq!(t, Cycles(11));
+        let (ready, m) = b.fetch(&mut s, line, Cycles(20));
+        assert_eq!(ready, Cycles(20), "ideal fetch is instantaneous");
+        assert_eq!(m, meta_with_bits(0, 0), "ideal storage is lossless");
+        assert_eq!(s.noc.stats().total_bytes().0, noc0, "no NoC traffic");
+        assert_eq!(s.dram.stats().total_bytes().0, dram0, "no DRAM traffic");
+        assert!(b.totals().is_none(), "no cache, no hit statistics");
+    }
+
+    #[test]
+    fn aim_backend_fetch_removes_bits_and_counts() {
+        let mut s = sub();
+        let mut b = AimMeta::new(&s.cfg.aim.clone());
+        let line = LineAddr(9);
+        let src = s.core_node(CoreId(2));
+        b.push(&mut s, src, line, meta_with_bits(2, 4), Cycles(0));
+        let (ready, m) = b.fetch(&mut s, line, Cycles(30));
+        assert_eq!(ready, Cycles(30 + b.latency), "resident: latency only");
+        assert_eq!(m, meta_with_bits(2, 4));
+        assert!(b.entry(line).is_empty(), "fetch drains the entry");
+        let (a, h, miss, sp) = b.totals().unwrap();
+        assert_eq!((a, h, miss, sp), (2, 1, 1, 0));
+        assert_eq!(
+            s.dram.stats().metadata_bytes().0,
+            0,
+            "no spill, no off-chip traffic"
+        );
+    }
+}

@@ -10,7 +10,9 @@
 use crate::exception::ConflictException;
 use rce_cache::{Directory, Llc};
 use rce_common::obs::{EventClass, SharedTracer, SimEvent};
-use rce_common::{Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, RegionId, WordMask};
+use rce_common::{
+    Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, RceResult, RegionId, WordMask,
+};
 use rce_dram::{AccessKind as DramKind, Dram};
 use rce_noc::{MsgClass, Noc, NodeId};
 
@@ -224,6 +226,11 @@ impl Substrate {
 }
 
 /// One conflict-detection design (or the baseline).
+///
+/// `access` and `region_boundary` are fallible: a broken model
+/// invariant (e.g. the directory naming a sharer whose L1 lost the
+/// line) surfaces as [`rce_common::RceError::InvariantViolated`]
+/// instead of a panic, so a long sweep fails only the offending run.
 pub trait Engine {
     /// Perform a memory access of `len` bytes at `addr` by `core`,
     /// starting at `now`. `mask` is the word span within the line.
@@ -235,14 +242,19 @@ pub trait Engine {
         mask: WordMask,
         kind: AccessType,
         now: Cycles,
-    ) -> AccessResult;
+    ) -> RceResult<AccessResult>;
 
     /// The core reached a synchronization operation: finish its
     /// current region (flush/scrub/self-invalidate per design) and
     /// return when the boundary work completes, plus any conflicts
     /// detected during boundary processing. The machine advances the
     /// region clock *after* this returns.
-    fn region_boundary(&mut self, sub: &mut Substrate, core: CoreId, now: Cycles) -> AccessResult;
+    fn region_boundary(
+        &mut self,
+        sub: &mut Substrate,
+        core: CoreId,
+        now: Cycles,
+    ) -> RceResult<AccessResult>;
 
     /// Engine display name.
     fn name(&self) -> &'static str;

@@ -29,6 +29,7 @@ fn acc<E: Engine + ?Sized>(
         kind,
         Cycles(now),
     )
+    .unwrap()
 }
 
 /// Upgrade (S→M) must consult displaced metadata: a third core's read
@@ -157,7 +158,7 @@ fn scrub_cost_scales_with_displacement() {
             t = acc(&mut e, &mut s, 0, 0x70_0000 + i * 64, R, t).done.0;
         }
         let before = s.dram.stats().metadata_bytes().0;
-        let b = e.region_boundary(&mut s, CoreId(0), Cycles(t));
+        let b = e.region_boundary(&mut s, CoreId(0), Cycles(t)).unwrap();
         (b.done.0 - t, s.dram.stats().metadata_bytes().0 - before)
     };
     let (small_lat, small_bytes) = boundary(4);

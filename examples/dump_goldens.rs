@@ -1,0 +1,46 @@
+//! Regenerate the golden reports that pin the four seed engine
+//! configurations (tests/goldens/*.json, diffed byte-for-byte by
+//! `tests/golden_reports.rs` and `scripts/ci.sh`).
+//!
+//! ```text
+//! cargo run --release --example dump_goldens
+//! ```
+//!
+//! Only run this deliberately, when a simulation-visible change is
+//! intended; the whole point of the files is to catch accidental
+//! behavior drift.
+
+use rce::prelude::*;
+
+fn main() {
+    let out = std::path::Path::new("tests/goldens");
+    std::fs::create_dir_all(out).expect("create tests/goldens");
+    let program = WorkloadSpec::Canneal.build(4, 3, 42);
+    for proto in ProtocolKind::ALL {
+        let cfg = MachineConfig::paper_default(4, proto);
+        write_golden(out, "canneal-4c", proto, &cfg, &program);
+    }
+    // Extra pin: a 64-entry AIM forces spills/refills through the
+    // DRAM overflow table, covering the paths the default-sized AIM
+    // never reaches on this workload.
+    for proto in [ProtocolKind::CePlus, ProtocolKind::Arc] {
+        let cfg = MachineConfig::paper_default(4, proto).with_aim_entries(64);
+        write_golden(out, "canneal-4c-aim64", proto, &cfg, &program);
+    }
+}
+
+fn write_golden(
+    out: &std::path::Path,
+    tag: &str,
+    proto: ProtocolKind,
+    cfg: &MachineConfig,
+    program: &rce::trace::Program,
+) {
+    let report = Machine::new(cfg).unwrap().run(program).unwrap();
+    let slug = proto.name().replace('+', "plus").to_lowercase();
+    let path = out.join(format!("{tag}-{slug}.json"));
+    let mut text = rce::common::json::to_string_pretty(&report);
+    text.push('\n');
+    std::fs::write(&path, text).expect("write golden");
+    println!("wrote {}", path.display());
+}

@@ -55,4 +55,38 @@ for f in trace-ping_pong-ceplus.json trace-ping_pong-ceplus.ndjson; do
 done
 echo "ok: trace artifacts written and zero-perturbation check passed"
 
+echo "== golden reports (paper report vs tests/goldens) =="
+# The four seed engine configurations must emit SimReport JSON that is
+# byte-identical to the pinned goldens. This is the refactor gate: the
+# coherence/detection/metadata layering must never drift the
+# simulation. (The small-AIM spill-path goldens are covered by
+# tests/golden_reports.rs.)
+for engine in MESI CE CE+ ARC; do
+    slug=$(printf '%s' "$engine" | sed 's/+/plus/' | tr '[:upper:]' '[:lower:]')
+    if ! cargo run -q --release --offline -p rce-bench --bin paper -- \
+        report canneal "$engine" --cores 4 --scale 3 --seed 42 |
+        diff -q - "tests/goldens/canneal-4c-$slug.json" >/dev/null; then
+        echo "FAIL: $engine report drifted from tests/goldens/canneal-4c-$slug.json" >&2
+        exit 1
+    fi
+    echo "ok: $engine report is byte-identical to its golden"
+done
+
+echo "== ablation smoke (paper ablate-aim) =="
+# The AIM sensitivity study must run end to end and write R-A7.json
+# with both AIM-backed designs in it.
+cargo run -q --release --offline -p rce-bench --bin paper -- \
+    ablate-aim --cores 4 --scale 1 --out "$obs_out" >/dev/null
+if [ ! -s "$obs_out/R-A7.json" ]; then
+    echo "FAIL: ablate-aim did not write R-A7.json" >&2
+    exit 1
+fi
+for design in "CE+" "ARC"; do
+    if ! grep -q "\"$design\"" "$obs_out/R-A7.json"; then
+        echo "FAIL: R-A7.json has no rows for $design" >&2
+        exit 1
+    fi
+done
+echo "ok: ablate-aim wrote R-A7.json with CE+ and ARC curves"
+
 echo "== ci passed =="

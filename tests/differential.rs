@@ -15,15 +15,19 @@ use std::collections::HashSet;
 
 fn assert_matches_oracle(name: &str, program: &Program, protocol: ProtocolKind) {
     let cfg = MachineConfig::paper_default(program.n_threads(), protocol);
-    let report = Machine::new(&cfg).unwrap().run(program).unwrap();
-    let engine: HashSet<_> = report.exceptions.iter().map(|x| x.key()).collect();
+    assert_matches_oracle_cfg(name, program, &cfg, &protocol.to_string());
+}
+
+fn assert_matches_oracle_cfg(name: &str, program: &Program, cfg: &MachineConfig, engine: &str) {
+    let report = Machine::new(cfg).unwrap().run(program).unwrap();
+    let detected: HashSet<_> = report.exceptions.iter().map(|x| x.key()).collect();
     let oracle: HashSet<_> = report.oracle_conflicts.iter().map(|x| x.key()).collect();
-    let missed: Vec<_> = oracle.difference(&engine).collect();
-    let spurious: Vec<_> = engine.difference(&oracle).collect();
+    let missed: Vec<_> = oracle.difference(&detected).collect();
+    let spurious: Vec<_> = detected.difference(&oracle).collect();
     assert!(
         missed.is_empty() && spurious.is_empty(),
-        "{name} under {protocol}: engine={} oracle={} missed={missed:?} spurious={spurious:?}",
-        engine.len(),
+        "{name} under {engine}: engine={} oracle={} missed={missed:?} spurious={spurious:?}",
+        detected.len(),
         oracle.len(),
     );
 }
@@ -116,6 +120,32 @@ fn naturally_racy_workloads_match_oracle() {
         let p = w.build(8, 1, 7);
         for protocol in ProtocolKind::DETECTORS {
             assert_matches_oracle(w.name(), &p, protocol);
+        }
+    }
+}
+
+/// The cross-composition variants (CE+ on an ideal store, ARC on CE's
+/// DRAM table) change only the metadata cost model, so they must
+/// detect exactly the oracle's conflict set too.
+#[test]
+fn cross_composition_variants_match_oracle() {
+    let variants: Vec<_> = rce_core::REGISTRY
+        .iter()
+        .filter(|v| !v.is_paper_design())
+        .collect();
+    assert_eq!(variants.len(), 2, "expected CE+ideal and ARC-dram");
+    for seed in 0..200u64 {
+        let p = fuzz_program(seed);
+        for v in &variants {
+            let cfg = v.config(p.n_threads());
+            assert_matches_oracle_cfg(&p.name.clone(), &p, &cfg, v.cli_name);
+        }
+    }
+    for seed in 0..20u64 {
+        let p = fuzz_big_program(seed);
+        for v in &variants {
+            let cfg = v.config(p.n_threads());
+            assert_matches_oracle_cfg(&p.name.clone(), &p, &cfg, v.cli_name);
         }
     }
 }
