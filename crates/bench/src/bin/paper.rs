@@ -19,11 +19,12 @@
 
 use rce_bench::runner::run_one_cfg;
 use rce_bench::{
+    diff::diff_values,
     figures::{base_sweep, TIMELINE_INTERVAL},
     profile, run_one_obs, Ablation, EvalParams, Experiment,
 };
 use rce_common::{json, ObsConfig};
-use rce_core::{find_variant, EngineVariant, REGISTRY};
+use rce_core::{find_variant, AccessType, EngineVariant, REGISTRY};
 use rce_trace::WorkloadSpec;
 use std::io::Write;
 
@@ -48,7 +49,9 @@ fn usage() -> ! {
         "usage: paper <experiment|all|ablations|summary|list> [--cores N] [--scale N] [--seed N] \
          [--jobs N] [--out DIR]\n       paper trace <workload> <engine> [--cores N] [--scale N] \
          [--seed N] [--out DIR]\n       paper report <workload> <engine> [--cores N] [--scale N] \
-         [--seed N]\nexperiments: {}\nablations: {}\nengines: {}",
+         [--seed N]\n       paper explain <workload> <engine> [--cores N] [--scale N] [--seed N] \
+         [--top K]\n       paper diff <a.json> <b.json> [--tolerance PCT]\n       paper \
+         trajectory [--out DIR]\nexperiments: {}\nablations: {}\nengines: {}",
         Experiment::ALL
             .iter()
             .map(|e| e.name())
@@ -77,8 +80,12 @@ fn main() {
     let command = args[0].clone();
     let mut params = EvalParams::default();
     let mut out_dir = "results".to_string();
-    // `trace` and `report` take two positional operands before the flags.
-    let has_operands = command == "trace" || command == "report";
+    let mut top = 5usize;
+    let mut tolerance = 0.0f64;
+    // `trace`, `report`, `explain` (workload + engine) and `diff`
+    // (two report files) take two positional operands before the flags.
+    let has_operands =
+        command == "trace" || command == "report" || command == "explain" || command == "diff";
     let mut i = if has_operands { 3 } else { 1 };
     if has_operands && args.len() < 3 {
         usage();
@@ -106,6 +113,14 @@ fn main() {
                 out_dir = need_val(i);
                 i += 2;
             }
+            "--top" => {
+                top = need_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--tolerance" => {
+                tolerance = need_val(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -117,6 +132,21 @@ fn main() {
 
     if command == "report" {
         run_report(&args[1], &args[2], &params);
+        return;
+    }
+
+    if command == "explain" {
+        run_explain(&args[1], &args[2], &params, top);
+        return;
+    }
+
+    if command == "diff" {
+        run_diff(&args[1], &args[2], tolerance);
+        return;
+    }
+
+    if command == "trajectory" {
+        run_trajectory(&out_dir);
         return;
     }
 
@@ -258,7 +288,10 @@ fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
     // Self-check: what we hand to Perfetto must at least be JSON.
     json::JsonValue::parse(&chrome_text).expect("emitted Chrome trace must parse");
     std::fs::write(format!("{base}.json"), &chrome_text).expect("write Chrome trace");
-    std::fs::write(format!("{base}.ndjson"), log.to_ndjson()).expect("write NDJSON log");
+    // The NDJSON log ends with a summary footer so consumers can tell
+    // a complete capture from one that overflowed the ring.
+    let ndjson = format!("{}{}", log.to_ndjson(), log.ndjson_footer());
+    std::fs::write(format!("{base}.ndjson"), ndjson).expect("write NDJSON log");
 
     eprintln!(
         "traced {} on {}: {} events emitted, {} kept (capacity {}), {} dropped; \
@@ -272,6 +305,13 @@ fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
         timeline.samples.len(),
         timeline.interval,
     );
+    if log.drops > 0 {
+        eprintln!(
+            "WARNING: ring overflow dropped {} of {} events — the exports are incomplete; \
+             raise the trace capacity to keep them all",
+            log.drops, log.emitted
+        );
+    }
     eprintln!("   wrote {base}.json (Chrome trace_event; open in Perfetto)");
     eprintln!("   wrote {base}.ndjson");
 
@@ -281,6 +321,7 @@ fn run_trace(workload: &str, engine: &str, params: &EvalParams, out_dir: &str) {
     let mut stripped = r.clone();
     stripped.timeline = None;
     stripped.trace = None;
+    stripped.forensics = None;
     let plain = run_one_cfg(w, &cfg, params.scale, params.seed);
     if json::to_string(&stripped) != json::to_string(&plain) {
         eprintln!("ERROR: observability perturbed the simulation (reports differ)");
@@ -308,6 +349,187 @@ fn run_report(workload: &str, engine: &str, params: &EvalParams) {
     let cfg = v.config(params.cores);
     let r = run_one_cfg(w, &cfg, params.scale, params.seed);
     println!("{}", json::to_string_pretty(&r));
+}
+
+/// `paper explain <workload> <engine>`: replay one run with the
+/// forensics layer on and print a human-readable root-cause report for
+/// every delivered exception, plus the hottest conflict lines and core
+/// pairs.
+fn run_explain(workload: &str, engine: &str, params: &EvalParams, top: usize) {
+    let w = match WorkloadSpec::parse(workload) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown workload '{workload}'");
+            std::process::exit(2);
+        }
+    };
+    let v = engine_or_exit(engine);
+    let cfg = v.config(params.cores);
+    let r = run_one_obs(
+        w,
+        &cfg,
+        params.scale,
+        params.seed,
+        ObsConfig::forensics_only(),
+    );
+    let f = r.forensics.expect("forensics was requested");
+    println!(
+        "{} on {} ({} cores, scale {}, seed {}):",
+        w.name(),
+        v.cli_name,
+        params.cores,
+        params.scale,
+        params.seed
+    );
+    println!(
+        "  {} conflict detections materialized, {} exceptions delivered\n",
+        f.total_detections, f.delivered
+    );
+    if f.records.is_empty() {
+        println!("no exceptions delivered: nothing to explain");
+        return;
+    }
+    let rw = |k: AccessType| {
+        if k == AccessType::Write {
+            "write"
+        } else {
+            "read"
+        }
+    };
+    for (i, rec) in f.records.iter().enumerate() {
+        let ex = &rec.exception;
+        println!(
+            "#{}: word 0x{:x} (line {}) @ cycle {}",
+            i + 1,
+            ex.word_addr.0,
+            ex.word_addr.line().0,
+            ex.detected_at.0
+        );
+        println!(
+            "    core {} {} in region {}  x  core {} {} in region {}",
+            ex.a.core.0,
+            rw(ex.a.kind),
+            ex.a.region.0,
+            ex.b.core.0,
+            rw(ex.b.kind),
+            ex.b.region.0
+        );
+        println!("    found via: {}", rec.path.describe());
+        if rec.recent.is_empty() {
+            println!("    no earlier events on the line in the window");
+        } else {
+            println!("    recent events on the line:");
+            for e in &rec.recent {
+                let who = e.core.map_or("-".to_string(), |c| c.to_string());
+                println!("      cycle {:<8} core {:<3} {:?}", e.cycle, who, e.kind);
+            }
+        }
+        println!();
+    }
+    if f.truncated_records > 0 {
+        println!(
+            "({} more delivered exceptions truncated from the record list)\n",
+            f.truncated_records
+        );
+    }
+    println!("hottest conflict lines:");
+    for h in f.hottest_lines(top) {
+        println!(
+            "  line {:<8} (bytes {}..{}): {} detections",
+            h.line,
+            h.line * 64,
+            h.line * 64 + 64,
+            h.conflicts
+        );
+    }
+    println!("hottest core pairs:");
+    for h in f.hottest_pairs(top) {
+        println!(
+            "  cores {}-{}: {} detections",
+            h.core_a, h.core_b, h.conflicts
+        );
+    }
+}
+
+/// `paper diff <a.json> <b.json>`: structural comparison of two report
+/// documents. Prints every out-of-tolerance drift with its JSON path
+/// and exits 1 if any exist; a clean comparison exits 0.
+fn run_diff(path_a: &str, path_b: &str, tolerance: f64) {
+    let load = |p: &str| -> json::JsonValue {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        json::JsonValue::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{p}: not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let a = load(path_a);
+    let b = load(path_b);
+    let drifts = diff_values(&a, &b, tolerance);
+    if drifts.is_empty() {
+        eprintln!("{path_a} and {path_b} match within {tolerance}% tolerance");
+        return;
+    }
+    for d in &drifts {
+        println!("{d}");
+    }
+    eprintln!(
+        "{} drift(s) beyond {tolerance}% tolerance between {path_a} and {path_b}",
+        drifts.len()
+    );
+    std::process::exit(1);
+}
+
+/// Pinned parameters for `paper trajectory`: small enough for a CI
+/// gate, fixed so the committed baseline stays comparable across
+/// machines and sessions.
+const TRAJECTORY_CORES: usize = 4;
+const TRAJECTORY_SCALE: u32 = 1;
+const TRAJECTORY_SEED: u64 = 42;
+const TRAJECTORY_WORKLOADS: [WorkloadSpec; 4] = [
+    WorkloadSpec::PrivateOnly,
+    WorkloadSpec::FalseSharing,
+    WorkloadSpec::PingPong,
+    WorkloadSpec::RacyPair,
+];
+
+/// `paper trajectory`: run the pinned micro-sweep and write
+/// `<out>/bench_trajectory.json`. CI diffs this against the committed
+/// baseline (`paper diff --tolerance`) to catch silent perf/behavior
+/// drift; the sweep is deterministic, so any drift is a real change.
+fn run_trajectory(out_dir: &str) {
+    let mut rows = Vec::new();
+    for w in TRAJECTORY_WORKLOADS {
+        for v in REGISTRY.iter().filter(|v| v.is_paper_design()) {
+            let cfg = v.config(TRAJECTORY_CORES);
+            let r = run_one_cfg(w, &cfg, TRAJECTORY_SCALE, TRAJECTORY_SEED);
+            rows.push(json!({
+                "workload": w.name(),
+                "engine": v.cli_name,
+                "cycles": r.cycles.0,
+                "mem_ops": r.mem_ops,
+                "noc_bytes": r.noc_bytes().0,
+                "dram_bytes": r.dram_bytes().0,
+                "llc_misses": r.llc_misses,
+                "exceptions": r.exceptions.len(),
+                "energy_pj": r.energy_total().0,
+            }));
+        }
+    }
+    let payload = json!({
+        "id": "bench_trajectory",
+        "cores": TRAJECTORY_CORES,
+        "scale": TRAJECTORY_SCALE,
+        "seed": TRAJECTORY_SEED,
+        "rows": rows,
+    });
+    std::fs::create_dir_all(out_dir).expect("create results directory");
+    let path = format!("{out_dir}/bench_trajectory.json");
+    let mut file = std::fs::File::create(&path).expect("write trajectory file");
+    writeln!(file, "{}", json::to_string_pretty(&payload)).unwrap();
+    eprintln!("   wrote {path}");
 }
 
 fn write_result(out_dir: &str, fig: &rce_bench::FigureOutput, params: &EvalParams) {
@@ -345,6 +567,7 @@ impl Describe for Experiment {
             Experiment::FigSaturation => "NoC saturation vs core count",
             Experiment::FigSeeds => "seed sensitivity of headline geomeans",
             Experiment::FigSaturationTimeline => "per-interval NoC utilization, CE+ vs ARC",
+            Experiment::FigConflictHeatmap => "hottest conflict lines/core pairs, CE+ vs ARC",
         }
     }
 }

@@ -51,11 +51,14 @@ pub enum Experiment {
     FigSeeds,
     /// R-F9: per-interval NoC utilization timeline (CE+ vs ARC).
     FigSaturationTimeline,
+    /// R-F10: conflict heatmap (hottest lines / core pairs) from the
+    /// forensics layer, CE+ vs ARC on racy workloads.
+    FigConflictHeatmap,
 }
 
 impl Experiment {
     /// All experiments in presentation order.
-    pub const ALL: [Experiment; 12] = [
+    pub const ALL: [Experiment; 13] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::FigRuntime,
@@ -68,6 +71,7 @@ impl Experiment {
         Experiment::FigSaturation,
         Experiment::FigSeeds,
         Experiment::FigSaturationTimeline,
+        Experiment::FigConflictHeatmap,
     ];
 
     /// CLI name.
@@ -85,6 +89,7 @@ impl Experiment {
             Experiment::FigSaturation => "fig-saturation",
             Experiment::FigSeeds => "fig-seeds",
             Experiment::FigSaturationTimeline => "fig-saturation-timeline",
+            Experiment::FigConflictHeatmap => "fig-conflict-heatmap",
         }
     }
 
@@ -126,6 +131,7 @@ impl Experiment {
             Experiment::FigSaturation => fig_saturation(params),
             Experiment::FigSeeds => fig_seeds(params),
             Experiment::FigSaturationTimeline => fig_saturation_timeline(params),
+            Experiment::FigConflictHeatmap => fig_conflict_heatmap(params),
         }
     }
 }
@@ -711,6 +717,7 @@ fn fig_saturation_timeline(params: &EvalParams) -> FigureOutput {
     let obs = ObsConfig {
         trace: None,
         sample_interval: Some(TIMELINE_INTERVAL),
+        forensics: None,
     };
     let timelines: Vec<(ProtocolKind, rce_common::MetricsTimeline)> = DESIGNS
         .iter()
@@ -782,6 +789,75 @@ fn fig_saturation_timeline(params: &EvalParams) -> FigureOutput {
     }
 }
 
+/// Hottest heatmap entries shown per row of R-F10.
+const HEATMAP_TOP_K: usize = 5;
+
+/// R-F10: conflict heatmap from the forensics layer. For the racy
+/// workloads, which lines and which core pairs carry the conflicts,
+/// and do CE+ (eager invalidation detection) and ARC (LLC-side
+/// registration) agree on where the heat is? The detection *sites*
+/// differ by design; the hot lines must not.
+fn fig_conflict_heatmap(params: &EvalParams) -> FigureOutput {
+    const DESIGNS: [ProtocolKind; 2] = [ProtocolKind::CePlus, ProtocolKind::Arc];
+    let mut t = Table::new(
+        "Conflict heatmap (forensics): hottest lines and core pairs",
+        &[
+            "workload",
+            "design",
+            "detections",
+            "delivered",
+            "hottest lines (line:count)",
+            "hottest pairs (a-b:count)",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (w, scale) in [
+        (WorkloadSpec::RacyPair, params.scale),
+        (WorkloadSpec::Canneal, params.scale.min(2)),
+    ] {
+        for p in DESIGNS {
+            let cfg = MachineConfig::paper_default(params.cores, p);
+            let r = run_one_obs(w, &cfg, scale, params.seed, ObsConfig::forensics_only());
+            let f = r.forensics.expect("forensics was requested");
+            let lines = f
+                .hottest_lines(HEATMAP_TOP_K)
+                .iter()
+                .map(|h| format!("{}:{}", h.line, h.conflicts))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let pairs = f
+                .hottest_pairs(HEATMAP_TOP_K)
+                .iter()
+                .map(|h| format!("{}-{}:{}", h.core_a, h.core_b, h.conflicts))
+                .collect::<Vec<_>>()
+                .join(" ");
+            t.row(vec![
+                w.name().to_string(),
+                p.name().to_string(),
+                f.total_detections.to_string(),
+                f.delivered.to_string(),
+                if lines.is_empty() { "-".into() } else { lines },
+                if pairs.is_empty() { "-".into() } else { pairs },
+            ]);
+            rows.push(json!({
+                "workload": w.name(),
+                "design": p.name(),
+                "total_detections": f.total_detections,
+                "delivered": f.delivered,
+                "lines": f.hottest_lines(HEATMAP_TOP_K).to_vec(),
+                "core_pairs": f.hottest_pairs(HEATMAP_TOP_K).to_vec(),
+                "region_lifetime_mean": f.region_lifetime.mean(),
+            }));
+        }
+    }
+    FigureOutput {
+        id: "R-F10",
+        title: "Conflict heatmap (CE+ vs ARC)",
+        table: t.render(),
+        json: json!({ "top_k": HEATMAP_TOP_K, "rows": rows }),
+    }
+}
+
 /// R-F8: are the headline geomeans artifacts of one seed? Re-run the
 /// runtime figure's geomean at several seeds and report the spread.
 fn fig_seeds(params: &EvalParams) -> FigureOutput {
@@ -847,6 +923,29 @@ mod tests {
             seed: 1,
             jobs: 0,
         }
+    }
+
+    #[test]
+    fn conflict_heatmap_localizes_the_racy_pair_race() {
+        let f = Experiment::FigConflictHeatmap.run(&tiny_params(), None);
+        let rows = f.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 4, "two workloads x CE+/ARC");
+        let racy: Vec<_> = rows
+            .iter()
+            .filter(|r| r["workload"] == json!("racy_pair"))
+            .collect();
+        assert_eq!(racy.len(), 2);
+        let mut hottest = Vec::new();
+        for r in &racy {
+            assert!(r["total_detections"].as_f64().unwrap() > 0.0);
+            assert!(r["delivered"].as_f64().unwrap() > 0.0);
+            let lines = r["lines"].as_array().unwrap();
+            assert!(!lines.is_empty());
+            hottest.push(lines[0]["line"].clone());
+        }
+        // CE+ and ARC detect at different sites but must agree on
+        // where the heat is.
+        assert_eq!(hottest[0], hottest[1]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod bencher;
+pub mod diff;
 pub mod figures;
 pub mod profile;
 pub mod runner;

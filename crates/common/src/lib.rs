@@ -43,8 +43,8 @@ pub use error::{RceError, RceResult};
 pub use ids::{BarrierId, CoreId, LockId, RegionId, ThreadId};
 pub use json::{FromJson, JsonValue, ToJson};
 pub use obs::{
-    EventClass, EventKind, GaugeSnapshot, IntervalSample, MetricsSampler, MetricsTimeline,
-    ObsConfig, SharedTracer, SimEvent, TraceConfig, TraceFilter, TraceLog, Tracer,
+    EventClass, EventKind, ForensicsConfig, GaugeSnapshot, IntervalSample, MetricsSampler,
+    MetricsTimeline, ObsConfig, SharedTracer, SimEvent, TraceConfig, TraceFilter, TraceLog, Tracer,
 };
 pub use rng::{Rng, SplitMix64};
 pub use stats::{geomean, Counter, Histogram, Summary};

@@ -541,6 +541,12 @@ impl Tracer {
         self.drops
     }
 
+    /// The retained events, oldest first (the forensics layer walks
+    /// these backward to build per-conflict recent-event windows).
+    pub fn events(&self) -> std::collections::vec_deque::Iter<'_, SimEvent> {
+        self.events.iter()
+    }
+
     /// Total events accepted by the filter (kept + dropped).
     pub fn emitted(&self) -> u64 {
         self.emitted
@@ -588,6 +594,21 @@ impl TraceLog {
             out.push('\n');
         }
         out
+    }
+
+    /// One-line NDJSON trailer summarizing ring accounting, so a
+    /// consumer of the `.ndjson` file can detect overflow truncation
+    /// without the surrounding report. Appended by `paper trace`, not
+    /// part of [`TraceLog::to_ndjson`] (whose lines are all events).
+    pub fn ndjson_footer(&self) -> String {
+        let mut s = json::to_string(&JsonValue::Object(vec![
+            ("event".into(), JsonValue::Str("trace_summary".into())),
+            ("capacity".into(), self.capacity.to_json()),
+            ("emitted".into(), self.emitted.to_json()),
+            ("drops".into(), self.drops.to_json()),
+        ]));
+        s.push('\n');
+        s
     }
 
     /// Chrome `trace_event` JSON (object format), loadable in
@@ -869,6 +890,28 @@ impl MetricsSampler {
 // Configuration
 // ---------------------------------------------------------------------------
 
+/// Conflict-forensics capture configuration. The collector itself
+/// lives in `rce_core::forensics`; this gate lives here so `ObsConfig`
+/// stays the single switchboard for every observability layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicsConfig {
+    /// Recent trace events retained per provenance record (the window
+    /// of events touching the conflicting line, newest last).
+    pub recent_window: usize,
+    /// Full provenance records retained per run; later deliveries
+    /// still feed the heatmaps but are counted as truncated.
+    pub max_records: usize,
+}
+
+impl Default for ForensicsConfig {
+    fn default() -> Self {
+        ForensicsConfig {
+            recent_window: 8,
+            max_records: 1024,
+        }
+    }
+}
+
 /// Gate for the whole subsystem. The default is fully off; a run with
 /// the default config is byte-identical to one before this module
 /// existed.
@@ -878,20 +921,32 @@ pub struct ObsConfig {
     pub trace: Option<TraceConfig>,
     /// Metrics sampling interval in cycles, if enabled.
     pub sample_interval: Option<u64>,
+    /// Conflict forensics (provenance records + heatmaps), if enabled.
+    pub forensics: Option<ForensicsConfig>,
 }
 
 impl ObsConfig {
     /// True if any layer is on.
     pub fn is_enabled(&self) -> bool {
-        self.trace.is_some() || self.sample_interval.is_some()
+        self.trace.is_some() || self.sample_interval.is_some() || self.forensics.is_some()
     }
 
-    /// Everything on: unfiltered tracing at the default capacity plus
-    /// sampling at `interval`.
+    /// Everything on: unfiltered tracing at the default capacity,
+    /// sampling at `interval`, and default-bounded forensics.
     pub fn full(interval: u64) -> ObsConfig {
         ObsConfig {
             trace: Some(TraceConfig::default()),
             sample_interval: Some(interval),
+            forensics: Some(ForensicsConfig::default()),
+        }
+    }
+
+    /// Forensics only: provenance records and heatmaps without an
+    /// exported trace or timeline (what `paper explain` runs with).
+    pub fn forensics_only() -> ObsConfig {
+        ObsConfig {
+            forensics: Some(ForensicsConfig::default()),
+            ..ObsConfig::default()
         }
     }
 }
@@ -1115,7 +1170,34 @@ mod tests {
         assert!(ObsConfig {
             trace: None,
             sample_interval: Some(5),
+            forensics: None,
         }
         .is_enabled());
+        let f = ObsConfig::forensics_only();
+        assert!(f.is_enabled());
+        assert!(f.trace.is_none() && f.sample_interval.is_none());
+        assert!(ObsConfig::full(1000).forensics.is_some());
+    }
+
+    #[test]
+    fn ndjson_footer_surfaces_drops() {
+        let mut t = Tracer::new(TraceConfig {
+            capacity: 2,
+            ..TraceConfig::default()
+        });
+        for i in 0..5u64 {
+            t.emit(ev(i, 0, EventKind::AimHit { line: i }));
+        }
+        let log = t.take_log();
+        let footer = log.ndjson_footer();
+        assert!(footer.ends_with('\n'));
+        let v = JsonValue::parse(footer.trim()).unwrap();
+        assert_eq!(v["event"], JsonValue::Str("trace_summary".into()));
+        assert_eq!(v["drops"], JsonValue::UInt(3));
+        assert_eq!(v["emitted"], JsonValue::UInt(5));
+        assert_eq!(v["capacity"], JsonValue::UInt(2));
+        // The footer is one line and is not part of the event stream.
+        assert_eq!(footer.lines().count(), 1);
+        assert_eq!(log.to_ndjson().lines().count(), 2);
     }
 }

@@ -34,6 +34,7 @@
 
 use crate::detect::Detector;
 use crate::exception::{AccessType, ConflictException, ConflictSide};
+use crate::forensics::{DetectPath, DetectSite};
 use crate::meta::{backend_for, MetaBackend};
 use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::L1Cache;
@@ -118,6 +119,9 @@ impl ArcEngine {
 
     /// Register `mask` bits of `kind` for `core` at the line's
     /// metadata entry (already ensured), checking for conflicts first.
+    /// Returns the exceptions plus one aligned provenance path per
+    /// exception (all registrations, with the backend's AIM state from
+    /// the `ensure` that preceded this call).
     fn aim_check_record(
         &mut self,
         sub: &Substrate,
@@ -126,7 +130,7 @@ impl ArcEngine {
         mask: WordMask,
         kind: AccessType,
         at: Cycles,
-    ) -> Vec<ConflictException> {
+    ) -> (Vec<ConflictException>, Vec<DetectPath>) {
         let region = sub.region_of(core);
         let me = ConflictSide { core, region, kind };
         let ex =
@@ -135,7 +139,13 @@ impl ArcEngine {
                     sub.is_live(c, r)
                 });
         self.touched[core.index()].insert(line.0);
-        ex
+        let path = DetectPath {
+            placement: self.meta.placement(),
+            site: DetectSite::Registration,
+            aim: self.meta.last_outcome(),
+        };
+        let paths = vec![path; ex.len()];
+        (ex, paths)
     }
 
     /// Recall a private owner's in-flight state when a second core
@@ -354,6 +364,7 @@ impl Engine for ArcEngine {
             }
             let done = Cycles(now.0 + l1_lat);
             let mut exceptions = Vec::new();
+            let mut paths = Vec::new();
             if is_shared && !new_words.is_empty() {
                 // First touch of these words this region: register at
                 // the AIM (asynchronously; the core does not stall).
@@ -362,9 +373,13 @@ impl Engine for ArcEngine {
                     .noc
                     .send(me, bank, sub.cfg.noc.ctrl_bytes, MsgClass::Metadata, now);
                 let t2 = self.meta.ensure_at(sub, line, t1);
-                exceptions = self.aim_check_record(sub, core, line, new_words, kind, t2);
+                (exceptions, paths) = self.aim_check_record(sub, core, line, new_words, kind, t2);
             }
-            return Ok(AccessResult { done, exceptions });
+            return Ok(AccessResult {
+                done,
+                exceptions,
+                paths,
+            });
         }
 
         // Miss: request to the home bank.
@@ -405,9 +420,10 @@ impl Engine for ArcEngine {
         // Conflict check + registration for shared lines (the
         // registration rides the miss request).
         let mut exceptions = Vec::new();
+        let mut paths = Vec::new();
         if is_shared {
             self.registrations.inc();
-            exceptions = self.aim_check_record(sub, core, line, dmask, kind, t_ready);
+            (exceptions, paths) = self.aim_check_record(sub, core, line, dmask, kind, t_ready);
         }
 
         // Data from the LLC (DRAM beneath it if needed).
@@ -440,6 +456,7 @@ impl Engine for ArcEngine {
         Ok(AccessResult {
             done: Cycles(t_data.0 + l1_lat),
             exceptions,
+            paths,
         })
     }
 
@@ -523,6 +540,7 @@ impl Engine for ArcEngine {
         Ok(AccessResult {
             done,
             exceptions: Vec::new(),
+            paths: Vec::new(),
         })
     }
 

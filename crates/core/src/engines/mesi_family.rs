@@ -33,6 +33,7 @@
 use crate::access::MetaMap;
 use crate::detect::Detector;
 use crate::exception::{AccessType, ConflictSide};
+use crate::forensics::{DetectPath, DetectSite};
 use crate::meta::{backend_for, MetaBackend};
 use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::{L1Cache, MesiState};
@@ -652,6 +653,10 @@ impl Engine for MesiFamilyEngine {
         let l1_lat = sub.cfg.l1.latency;
 
         let state = self.l1[core.index()].access(line).map(|l| l.mesi);
+        // Snapshot the displaced-fetch counter: if it moves during this
+        // access, any conflict found involved bits fetched back from
+        // the metadata backend rather than bits riding the L1 line.
+        let lookups_before = self.meta_lookups.get();
         let (done, incoming) = match (state, kind) {
             (Some(_), AccessType::Read) => (Cycles(now.0 + l1_lat), MetaMap::new()),
             (Some(s), AccessType::Write) if s.can_write() => {
@@ -668,6 +673,7 @@ impl Engine for MesiFamilyEngine {
         };
 
         let mut exceptions = Vec::new();
+        let mut paths = Vec::new();
         if self.detection() {
             let dmask = sub.cfg.detect_mask(mask);
             let lref = self.l1[core.index()]
@@ -680,8 +686,29 @@ impl Engine for MesiFamilyEngine {
                     .check_and_record(&mut lref.meta, me, dmask, line, done, |c, r| {
                         sub.is_live(c, r)
                     });
+            if !exceptions.is_empty() {
+                let fetched = self.meta_lookups.get() > lookups_before;
+                let path = DetectPath {
+                    placement: self.meta.placement(),
+                    site: if fetched {
+                        DetectSite::DisplacedFetch
+                    } else {
+                        DetectSite::L1Bits
+                    },
+                    aim: if fetched {
+                        self.meta.last_outcome()
+                    } else {
+                        None
+                    },
+                };
+                paths = vec![path; exceptions.len()];
+            }
         }
-        Ok(AccessResult { done, exceptions })
+        Ok(AccessResult {
+            done,
+            exceptions,
+            paths,
+        })
     }
 
     fn region_boundary(
@@ -694,6 +721,7 @@ impl Engine for MesiFamilyEngine {
             return Ok(AccessResult {
                 done: now,
                 exceptions: Vec::new(),
+                paths: Vec::new(),
             });
         }
         // Local flash-clear of this core's bits (and opportunistic
@@ -714,6 +742,7 @@ impl Engine for MesiFamilyEngine {
         Ok(AccessResult {
             done,
             exceptions: Vec::new(),
+            paths: Vec::new(),
         })
     }
 

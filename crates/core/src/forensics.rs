@@ -1,0 +1,492 @@
+//! Conflict forensics: provenance records and heatmaps for delivered
+//! exceptions.
+//!
+//! A counter tells you *that* conflicts happened; this layer tells you
+//! *where and why*. When [`rce_common::ForensicsConfig`] is on, the
+//! machine feeds every materialized exception (pre-dedup) into the
+//! heatmaps and captures a full [`ConflictRecord`] for every exception
+//! it actually delivers: both access endpoints, the engine's
+//! [`DetectPath`] (metadata placement, detection site, AIM state at
+//! detection time), and a bounded window of recent trace events that
+//! touched the conflicting line. Everything aggregates into a
+//! [`ForensicsReport`] that rides `SimReport.forensics` — omitted
+//! byte-for-byte when the layer is off, like every other observability
+//! field.
+//!
+//! Invariant pinned by tests: the heatmap totals count *materialized*
+//! detections, so the sum over any heatmap equals the detector's
+//! `conflict_checks_hit` counter, while `delivered` equals
+//! `SimReport.exceptions.len()`.
+
+use crate::exception::ConflictException;
+use crate::meta::AimOutcome;
+use rce_common::obs::{ForensicsConfig, SimEvent, Tracer};
+use rce_common::{impl_json_struct, impl_json_unit_enum, Histogram, MetaPlacement};
+use std::collections::BTreeMap;
+
+/// Where the opposing access bits lived when the conflict surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectSite {
+    /// Bits riding the requester's L1 line (merged from sharers'
+    /// acks / owner downgrades): the MESI family's common case.
+    L1Bits,
+    /// Bits displaced out of every L1 and fetched back from the
+    /// metadata backend during this access (CE/CE+ displaced path).
+    DisplacedFetch,
+    /// ARC's LLC-side registration check against the line's metadata
+    /// entry.
+    Registration,
+}
+
+impl_json_unit_enum!(DetectSite {
+    L1Bits,
+    DisplacedFetch,
+    Registration,
+});
+
+impl DetectSite {
+    /// Human-readable phrase for `paper explain`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            DetectSite::L1Bits => "bits riding the L1 line",
+            DetectSite::DisplacedFetch => "displaced bits fetched from the metadata store",
+            DetectSite::Registration => "LLC-side registration check",
+        }
+    }
+}
+
+/// The metadata path one detection went through: which placement was
+/// consulted, at which site, and what the AIM had to do (if one was
+/// involved in this access).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectPath {
+    /// The engine's metadata placement.
+    pub placement: MetaPlacement,
+    /// Where the opposing bits were found.
+    pub site: DetectSite,
+    /// AIM hit/miss/spill state at detection time; `None` when no AIM
+    /// lookup was on this access's path.
+    pub aim: Option<AimOutcome>,
+}
+
+impl_json_struct!(DetectPath {
+    placement,
+    site,
+    aim,
+});
+
+impl DetectPath {
+    /// One-line summary for `paper explain`.
+    pub fn describe(&self) -> String {
+        let mut s = format!("{} metadata, {}", self.placement, self.site.describe());
+        if let Some(o) = self.aim {
+            s.push_str(if o.hit { ", AIM hit" } else { ", AIM miss" });
+            if o.refilled {
+                s.push_str(" (refilled from DRAM)");
+            }
+            if o.spilled {
+                s.push_str(", victim spilled");
+            }
+        }
+        s
+    }
+}
+
+/// One delivered exception with full provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConflictRecord {
+    /// The exception itself: both endpoints (core, region serial,
+    /// access type), the word address, and the delivery cycle.
+    pub exception: ConflictException,
+    /// How the engine found it.
+    pub path: DetectPath,
+    /// Recent trace events touching the conflicting line, oldest
+    /// first, bounded by `ForensicsConfig::recent_window`.
+    pub recent: Vec<SimEvent>,
+}
+
+impl_json_struct!(ConflictRecord {
+    exception,
+    path,
+    recent,
+});
+
+/// Conflict count for one 64-byte line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineHeat {
+    /// Line index.
+    pub line: u64,
+    /// Materialized detections on this line.
+    pub conflicts: u64,
+}
+
+impl_json_struct!(LineHeat { line, conflicts });
+
+/// Conflict count for one pair of cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairHeat {
+    /// Lower core ID of the pair.
+    pub core_a: u16,
+    /// Higher core ID of the pair.
+    pub core_b: u16,
+    /// Materialized detections between the pair.
+    pub conflicts: u64,
+}
+
+impl_json_struct!(PairHeat {
+    core_a,
+    core_b,
+    conflicts,
+});
+
+/// Conflict count for one region serial (each endpoint region of a
+/// detection is charged once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionHeat {
+    /// Region serial.
+    pub region: u64,
+    /// Detection endpoints in this region.
+    pub conflicts: u64,
+}
+
+impl_json_struct!(RegionHeat { region, conflicts });
+
+/// The forensics section of a `SimReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicsReport {
+    /// Every materialized detection, pre-dedup (equals the engines'
+    /// `conflict_checks_hit` counter).
+    pub total_detections: u64,
+    /// Deduplicated exceptions actually delivered (equals
+    /// `SimReport.exceptions.len()`).
+    pub delivered: u64,
+    /// Delivered exceptions whose full record was dropped to the
+    /// `max_records` bound (their heatmap contributions remain).
+    pub truncated_records: u64,
+    /// Full provenance records, delivery order.
+    pub records: Vec<ConflictRecord>,
+    /// Per-line conflict counts, hottest first (ties by line).
+    pub line_heatmap: Vec<LineHeat>,
+    /// Per-core-pair conflict counts, hottest first.
+    pub core_pair_heatmap: Vec<PairHeat>,
+    /// Per-region detection-endpoint counts, hottest first.
+    pub region_heatmap: Vec<RegionHeat>,
+    /// Completed-region lifetimes in cycles.
+    pub region_lifetime: Histogram,
+}
+
+impl_json_struct!(ForensicsReport {
+    total_detections,
+    delivered,
+    truncated_records,
+    records,
+    line_heatmap,
+    core_pair_heatmap,
+    region_heatmap,
+    region_lifetime,
+});
+
+impl ForensicsReport {
+    /// The `k` hottest conflict lines.
+    pub fn hottest_lines(&self, k: usize) -> &[LineHeat] {
+        &self.line_heatmap[..k.min(self.line_heatmap.len())]
+    }
+
+    /// The `k` hottest core pairs.
+    pub fn hottest_pairs(&self, k: usize) -> &[PairHeat] {
+        &self.core_pair_heatmap[..k.min(self.core_pair_heatmap.len())]
+    }
+
+    /// Sum over the line heatmap (equals `total_detections`).
+    pub fn heatmap_total(&self) -> u64 {
+        self.line_heatmap.iter().map(|h| h.conflicts).sum()
+    }
+}
+
+/// The in-run collector the machine drives.
+#[derive(Debug)]
+pub struct Forensics {
+    cfg: ForensicsConfig,
+    total: u64,
+    delivered: u64,
+    truncated: u64,
+    records: Vec<ConflictRecord>,
+    line_heat: BTreeMap<u64, u64>,
+    pair_heat: BTreeMap<(u16, u16), u64>,
+    region_heat: BTreeMap<u64, u64>,
+    region_lifetime: Histogram,
+}
+
+impl Forensics {
+    /// Fresh collector.
+    pub fn new(cfg: ForensicsConfig) -> Self {
+        Forensics {
+            cfg,
+            total: 0,
+            delivered: 0,
+            truncated: 0,
+            records: Vec::new(),
+            line_heat: BTreeMap::new(),
+            pair_heat: BTreeMap::new(),
+            region_heat: BTreeMap::new(),
+            region_lifetime: Histogram::new(),
+        }
+    }
+
+    /// Feed one materialized detection (called for *every* exception an
+    /// access raises, before the machine's delivery dedup, so heatmap
+    /// totals match the detector's counter).
+    pub fn observe(&mut self, ex: &ConflictException) {
+        self.total += 1;
+        *self.line_heat.entry(ex.word_addr.line().0).or_insert(0) += 1;
+        *self
+            .pair_heat
+            .entry((ex.a.core.0, ex.b.core.0))
+            .or_insert(0) += 1;
+        *self.region_heat.entry(ex.a.region.0).or_insert(0) += 1;
+        *self.region_heat.entry(ex.b.region.0).or_insert(0) += 1;
+    }
+
+    /// Capture a delivered (deduplicated) exception's full record.
+    /// `recent` is the caller-built event window for the line.
+    pub fn deliver(&mut self, ex: ConflictException, path: DetectPath, recent: Vec<SimEvent>) {
+        self.delivered += 1;
+        if self.records.len() < self.cfg.max_records {
+            self.records.push(ConflictRecord {
+                exception: ex,
+                path,
+                recent,
+            });
+        } else {
+            self.truncated += 1;
+        }
+    }
+
+    /// Build the recent-event window for a delivered exception: the
+    /// newest `recent_window` tracer events whose address span overlaps
+    /// the conflicting line, returned oldest first by cycle (engines
+    /// emit substrate events mid-access, so ring order alone is not
+    /// cycle order).
+    pub fn window(&self, tracer: &Tracer, line: u64) -> Vec<SimEvent> {
+        let (lo, hi) = (line * 64, line * 64 + 64);
+        let mut v: Vec<SimEvent> = tracer
+            .events()
+            .rev()
+            .filter(|e| matches!(e.kind.addr_span(), Some((a, b)) if a < hi && b > lo))
+            .take(self.cfg.recent_window)
+            .cloned()
+            .collect();
+        v.reverse();
+        v.sort_by_key(|e| e.cycle);
+        v
+    }
+
+    /// Record one completed region's lifetime in cycles.
+    pub fn region_ended(&mut self, lifetime: u64) {
+        self.region_lifetime.record(lifetime);
+    }
+
+    /// Finish: sort the heatmaps hottest-first (ties by key, so the
+    /// output is deterministic) and assemble the report.
+    pub fn finish(self) -> ForensicsReport {
+        fn sorted<K: Copy + Ord, T>(m: BTreeMap<K, u64>, build: impl Fn(K, u64) -> T) -> Vec<T> {
+            let mut v: Vec<(K, u64)> = m.into_iter().collect();
+            v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            v.into_iter().map(|(k, n)| build(k, n)).collect()
+        }
+        ForensicsReport {
+            total_detections: self.total,
+            delivered: self.delivered,
+            truncated_records: self.truncated,
+            records: self.records,
+            line_heatmap: sorted(self.line_heat, |line, conflicts| LineHeat {
+                line,
+                conflicts,
+            }),
+            core_pair_heatmap: sorted(self.pair_heat, |(core_a, core_b), conflicts| PairHeat {
+                core_a,
+                core_b,
+                conflicts,
+            }),
+            region_heatmap: sorted(self.region_heat, |region, conflicts| RegionHeat {
+                region,
+                conflicts,
+            }),
+            region_lifetime: self.region_lifetime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::{AccessType, ConflictSide};
+    use rce_common::obs::{EventKind, TraceConfig};
+    use rce_common::{Addr, CoreId, Cycles, RegionId};
+
+    fn ex(a: u16, b: u16, word_addr: u64, at: u64) -> ConflictException {
+        ConflictException::new(
+            ConflictSide {
+                core: CoreId(a),
+                region: RegionId(a as u64 + 10),
+                kind: AccessType::Write,
+            },
+            ConflictSide {
+                core: CoreId(b),
+                region: RegionId(b as u64 + 10),
+                kind: AccessType::Read,
+            },
+            Addr(word_addr),
+            Cycles(at),
+        )
+    }
+
+    fn path() -> DetectPath {
+        DetectPath {
+            placement: MetaPlacement::Aim,
+            site: DetectSite::Registration,
+            aim: Some(AimOutcome {
+                hit: true,
+                refilled: false,
+                spilled: false,
+            }),
+        }
+    }
+
+    #[test]
+    fn heatmaps_count_every_observation() {
+        let mut f = Forensics::new(ForensicsConfig::default());
+        // Same conflict observed twice (e.g. by two coherence actions),
+        // plus one on another line.
+        f.observe(&ex(0, 1, 64, 5));
+        f.observe(&ex(0, 1, 64, 9));
+        f.observe(&ex(2, 3, 256, 7));
+        f.deliver(ex(0, 1, 64, 5), path(), vec![]);
+        f.deliver(ex(2, 3, 256, 7), path(), vec![]);
+        let r = f.finish();
+        assert_eq!(r.total_detections, 3);
+        assert_eq!(r.delivered, 2);
+        assert_eq!(r.heatmap_total(), 3, "heatmap counts pre-dedup detections");
+        assert_eq!(
+            r.line_heatmap[0],
+            LineHeat {
+                line: 1,
+                conflicts: 2
+            }
+        );
+        assert_eq!(
+            r.core_pair_heatmap[0],
+            PairHeat {
+                core_a: 0,
+                core_b: 1,
+                conflicts: 2
+            }
+        );
+        // Each endpoint region charged once per observation.
+        let region_total: u64 = r.region_heatmap.iter().map(|h| h.conflicts).sum();
+        assert_eq!(region_total, 6);
+    }
+
+    #[test]
+    fn records_are_bounded_and_truncation_is_counted() {
+        let mut f = Forensics::new(ForensicsConfig {
+            recent_window: 4,
+            max_records: 2,
+        });
+        for i in 0..5u64 {
+            let e = ex(0, 1, i * 8, i);
+            f.observe(&e);
+            f.deliver(e, path(), vec![]);
+        }
+        let r = f.finish();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.truncated_records, 3);
+        assert_eq!(r.delivered, 5);
+        assert_eq!(r.heatmap_total(), 5, "truncation never drops heat");
+    }
+
+    #[test]
+    fn window_filters_by_line_and_bounds_length() {
+        let f = Forensics::new(ForensicsConfig {
+            recent_window: 2,
+            max_records: 8,
+        });
+        let mut t = Tracer::new(TraceConfig::default());
+        for i in 0..6u64 {
+            t.emit(SimEvent {
+                cycle: i,
+                core: Some(0),
+                region: None,
+                kind: EventKind::MemAccess {
+                    // Alternate between line 1 and line 9.
+                    addr: if i % 2 == 0 { 64 } else { 9 * 64 },
+                    write: true,
+                    exceptions: 0,
+                },
+            });
+        }
+        let w = f.window(&t, 1);
+        assert_eq!(w.len(), 2, "window is bounded");
+        assert!(
+            w.windows(2).all(|p| p[0].cycle < p[1].cycle),
+            "oldest first"
+        );
+        for e in &w {
+            let (a, b) = e.kind.addr_span().unwrap();
+            assert!(a < 128 && b > 64, "only line-1 events");
+        }
+        assert!(f.window(&t, 500).is_empty());
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut f = Forensics::new(ForensicsConfig::default());
+        let e = ex(1, 3, 128, 42);
+        f.observe(&e);
+        f.deliver(
+            e,
+            DetectPath {
+                placement: MetaPlacement::Dram,
+                site: DetectSite::DisplacedFetch,
+                aim: None,
+            },
+            vec![SimEvent {
+                cycle: 40,
+                core: Some(1),
+                region: Some(11),
+                kind: EventKind::MemAccess {
+                    addr: 128,
+                    write: true,
+                    exceptions: 0,
+                },
+            }],
+        );
+        f.region_ended(777);
+        let r = f.finish();
+        let text = rce_common::json::to_string(&r);
+        let back: ForensicsReport = rce_common::json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.records[0].path.site, DetectSite::DisplacedFetch);
+        assert!(back.records[0].path.aim.is_none());
+        assert_eq!(back.region_lifetime.count(), 1);
+    }
+
+    #[test]
+    fn describe_paths() {
+        let p = path();
+        let s = p.describe();
+        assert!(s.contains("AIM hit"), "{s}");
+        assert!(s.contains("registration"), "{s}");
+        let d = DetectPath {
+            placement: MetaPlacement::Aim,
+            site: DetectSite::DisplacedFetch,
+            aim: Some(AimOutcome {
+                hit: false,
+                refilled: true,
+                spilled: true,
+            }),
+        };
+        let s = d.describe();
+        assert!(s.contains("AIM miss") && s.contains("refilled") && s.contains("spilled"));
+    }
+}

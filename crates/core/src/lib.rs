@@ -37,6 +37,7 @@ pub mod access;
 pub mod detect;
 pub mod engines;
 pub mod exception;
+pub mod forensics;
 pub mod machine;
 pub mod meta;
 pub mod oracle;
@@ -48,6 +49,10 @@ pub use access::{ConflictCheck, MetaMap};
 pub use detect::Detector;
 pub use engines::{find_variant, ArcEngine, EngineVariant, MesiFamilyEngine, REGISTRY};
 pub use exception::{AccessType, ConflictException, ExceptionPolicy};
+pub use forensics::{
+    ConflictRecord, DetectPath, DetectSite, Forensics, ForensicsReport, LineHeat, PairHeat,
+    RegionHeat,
+};
 pub use machine::Machine;
 pub use meta::{backend_for, AimMeta, AimOutcome, DramMeta, IdealMeta, MetaBackend, NoMeta};
 pub use oracle::Oracle;

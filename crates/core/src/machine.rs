@@ -11,6 +11,7 @@
 //! committed stream, giving ground truth for differential testing.
 
 use crate::exception::{AccessType, ConflictException, ExceptionPolicy};
+use crate::forensics::Forensics;
 use crate::oracle::Oracle;
 use crate::protocol::{Engine, Substrate};
 use crate::report::{AimSummary, SimReport};
@@ -178,7 +179,16 @@ impl Machine {
                 obs.trace = Some(TraceConfig::word_alias(w));
             }
         }
-        let tracer = obs.trace.map(|tc| shared_tracer(Tracer::new(tc)));
+        let trace_requested = obs.trace.is_some();
+        let mut tracer = obs.trace.map(|tc| shared_tracer(Tracer::new(tc)));
+        if tracer.is_none() && obs.forensics.is_some() {
+            // Forensics wants recent-event windows even when the user
+            // did not ask for a trace: run an internal ring that is
+            // never exported in the report.
+            tracer = Some(shared_tracer(Tracer::new(TraceConfig::default())));
+        }
+        let mut forensics = obs.forensics.clone().map(Forensics::new);
+        let mut region_start = vec![Cycles::ZERO; n];
         if let Some(t) = &tracer {
             sub.attach_tracer(t.clone());
             // Every core's first region opens at t=0.
@@ -212,6 +222,8 @@ impl Machine {
             region_ops: &mut [u64],
             region_len: &mut rce_common::Histogram,
             boundary_cost: &mut rce_common::Histogram,
+            region_start: &mut [Cycles],
+            forensics: &mut Option<Forensics>,
         ) -> RceResult<Cycles> {
             let old_region = sub.region_of(core);
             let b = engine.region_boundary(sub, core, now)?;
@@ -224,6 +236,10 @@ impl Machine {
             }
             let done = b.done.max(now);
             boundary_cost.record(done.0 - now.0);
+            if let Some(f) = forensics.as_mut() {
+                f.region_ended(done.0.saturating_sub(region_start[core.index()].0));
+            }
+            region_start[core.index()] = done;
             sub.trace(EventClass::Region, || SimEvent {
                 cycle: done.0,
                 core: Some(core.0),
@@ -283,6 +299,8 @@ impl Machine {
                     &mut region_ops,
                     &mut region_len,
                     &mut boundary_cost,
+                    &mut region_start,
+                    &mut forensics,
                 )?;
                 clock[c] = done;
                 status[c] = Status::Done;
@@ -323,7 +341,10 @@ impl Machine {
                     for w in dmask.iter() {
                         let _ = oracle.observe(core, line.word_addr(w), kind, now);
                     }
-                    for ex in res.exceptions {
+                    for (i, ex) in res.exceptions.into_iter().enumerate() {
+                        if let Some(f) = &mut forensics {
+                            f.observe(&ex);
+                        }
                         if seen.insert(ex.key()) {
                             sub.trace(EventClass::Conflict, || {
                                 let letter =
@@ -348,6 +369,15 @@ impl Machine {
                                     },
                                 }
                             });
+                            if let Some(f) = &mut forensics {
+                                if let Some(path) = res.paths.get(i).copied() {
+                                    let recent = tracer
+                                        .as_ref()
+                                        .map(|t| f.window(&t.borrow(), line.0))
+                                        .unwrap_or_default();
+                                    f.deliver(ex.clone(), path, recent);
+                                }
+                            }
                             exceptions.push(ex);
                             if policy == ExceptionPolicy::AbortOnFirst {
                                 clock[c] = res.done.max(Cycles(now.0 + 1));
@@ -374,6 +404,8 @@ impl Machine {
                         &mut region_ops,
                         &mut region_len,
                         &mut boundary_cost,
+                        &mut region_start,
+                        &mut forensics,
                     )?;
                     match locks.acquire(lock, core, done) {
                         AcquireOutcome::Granted(t) => clock[c] = t,
@@ -396,6 +428,8 @@ impl Machine {
                         &mut region_ops,
                         &mut region_len,
                         &mut boundary_cost,
+                        &mut region_start,
+                        &mut forensics,
                     )?;
                     if let Some((next, t)) = locks.release(lock, core, done) {
                         let ni = next.index();
@@ -418,6 +452,8 @@ impl Machine {
                         &mut region_ops,
                         &mut region_len,
                         &mut boundary_cost,
+                        &mut region_start,
+                        &mut forensics,
                     )?;
                     clock[c] = done;
                     match barriers.arrive(bar, core, done) {
@@ -442,7 +478,13 @@ impl Machine {
         // (not unwrapped) because the NoC and DRAM still hold clones.
         let timeline =
             sampler.map(|s| s.finish(end.0, gauges(&sub, &*engine, exceptions.len() as u64)));
-        let trace = tracer.map(|t| t.borrow_mut().take_log());
+        // The internal forensics-only ring never reaches the report.
+        let trace = if trace_requested {
+            tracer.map(|t| t.borrow_mut().take_log())
+        } else {
+            None
+        };
+        let forensics = forensics.map(Forensics::finish);
 
         let (l1_hits, l1_misses, l1_evictions) = engine.l1_totals();
         let aim = engine.aim_totals().map(|(a, h, m, s)| AimSummary {
@@ -496,6 +538,7 @@ impl Machine {
             aborted,
             timeline,
             trace,
+            forensics,
         })
     }
 }
@@ -696,11 +739,13 @@ mod tests {
             .unwrap();
         assert!(observed.timeline.is_some());
         assert!(observed.trace.is_some());
+        assert!(observed.forensics.is_some());
         // Observability must not perturb the simulation: stripping the
         // obs fields yields the exact bytes of the plain run.
         let mut stripped = observed.clone();
         stripped.timeline = None;
         stripped.trace = None;
+        stripped.forensics = None;
         assert_eq!(
             rce_common::json::to_string(&plain),
             rce_common::json::to_string(&stripped)
@@ -709,6 +754,7 @@ mod tests {
         let off = rce_common::json::to_string(&plain);
         assert!(!off.contains("\"timeline\""));
         assert!(!off.contains("\"trace\""));
+        assert!(!off.contains("\"forensics\""));
     }
 
     #[test]
@@ -718,6 +764,7 @@ mod tests {
             Machine::new(&cfg).unwrap().with_observability(ObsConfig {
                 trace: None,
                 sample_interval: Some(512),
+                forensics: None,
             })
         };
         let p = WorkloadSpec::Canneal.build(4, 1, 7);
@@ -746,6 +793,7 @@ mod tests {
                 ..TraceConfig::default()
             }),
             sample_interval: None,
+            forensics: None,
         };
         let p = WorkloadSpec::Canneal.build(4, 1, 7);
         let r = Machine::new(&cfg)
@@ -789,6 +837,78 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::MemAccess { .. }) && e.core.is_some()));
+    }
+
+    #[test]
+    fn forensics_records_provenance_for_every_delivered_exception() {
+        for proto in ProtocolKind::DETECTORS {
+            let cfg = MachineConfig::paper_default(4, proto);
+            let p = WorkloadSpec::RacyPair.build(4, 1, 42);
+            let r = Machine::new(&cfg)
+                .unwrap()
+                .with_observability(ObsConfig::forensics_only())
+                .run(&p)
+                .unwrap();
+            let f = r.forensics.as_ref().expect("forensics was on");
+            // The internal event ring used for windows is not a trace.
+            assert!(r.trace.is_none(), "{proto}: internal ring leaked");
+            assert!(!r.exceptions.is_empty(), "{proto}: racy_pair must race");
+            assert_eq!(f.delivered, r.exceptions.len() as u64, "{proto}");
+            assert_eq!(f.records.len(), r.exceptions.len(), "{proto}");
+            // Heatmap totals count materialized (pre-dedup) detections,
+            // exactly the engines' conflict_checks_hit counter.
+            let hits = r
+                .engine_counters
+                .iter()
+                .find(|(k, _)| k == "conflict_checks_hit")
+                .map(|(_, v)| *v)
+                .expect("detector counter");
+            assert_eq!(f.heatmap_total(), hits, "{proto}");
+            assert_eq!(f.total_detections, hits, "{proto}");
+            // Every record names both endpoints and a detection path.
+            for rec in &f.records {
+                assert_ne!(rec.exception.a.core, rec.exception.b.core, "{proto}");
+                assert!(!rec.path.describe().is_empty(), "{proto}");
+            }
+            // Lifetimes were recorded for every completed region.
+            assert_eq!(f.region_lifetime.count(), r.regions, "{proto}");
+        }
+    }
+
+    #[test]
+    fn forensics_is_deterministic() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::CePlus);
+        let p = WorkloadSpec::Canneal.build(4, 1, 7);
+        let m = || {
+            Machine::new(&cfg)
+                .unwrap()
+                .with_observability(ObsConfig::forensics_only())
+        };
+        let a = m().run(&p).unwrap().forensics.unwrap();
+        let b = m().run(&p).unwrap().forensics.unwrap();
+        assert_eq!(
+            rce_common::json::to_string(&a),
+            rce_common::json::to_string(&b)
+        );
+    }
+
+    #[test]
+    fn exceptions_gauge_sums_to_delivered_total() {
+        let cfg = MachineConfig::paper_default(4, ProtocolKind::Ce);
+        let p = WorkloadSpec::RacyPair.build(4, 1, 42);
+        let r = Machine::new(&cfg)
+            .unwrap()
+            .with_observability(ObsConfig {
+                trace: None,
+                sample_interval: Some(256),
+                forensics: None,
+            })
+            .run(&p)
+            .unwrap();
+        assert!(!r.exceptions.is_empty());
+        let t = r.timeline.expect("sampling was on");
+        let total: u64 = t.samples.iter().map(|s| s.exceptions).sum();
+        assert_eq!(total, r.exceptions.len() as u64);
     }
 
     #[test]

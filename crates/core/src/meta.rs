@@ -27,7 +27,9 @@ use crate::access::MetaMap;
 use crate::protocol::Substrate;
 use rce_cache::SetAssoc;
 use rce_common::obs::{EventClass, EventKind, SimEvent};
-use rce_common::{AimConfig, CoreId, Counter, Cycles, LineAddr, MachineConfig, MetaPlacement};
+use rce_common::{
+    impl_json_struct, AimConfig, CoreId, Counter, Cycles, LineAddr, MachineConfig, MetaPlacement,
+};
 use rce_dram::AccessKind as DramKind;
 use rce_noc::{MsgClass, NodeId};
 use std::collections::HashMap;
@@ -48,6 +50,12 @@ pub struct AimOutcome {
     /// (charge a metadata write).
     pub spilled: bool,
 }
+
+impl_json_struct!(AimOutcome {
+    hit,
+    refilled,
+    spilled,
+});
 
 /// One home for not-in-L1 access metadata, with its cost model.
 ///
@@ -106,6 +114,14 @@ pub trait MetaBackend {
     /// meaningful cache behind it; `None` otherwise (the report's AIM
     /// section is omitted).
     fn totals(&self) -> Option<(u64, u64, u64, u64)>;
+
+    /// The outcome of the most recent AIM `ensure`, for forensics
+    /// provenance: what the metadata cache had to do the last time an
+    /// entry was made resident. `None` for placements without a
+    /// bounded cache (DRAM/ideal never hit, miss, or spill).
+    fn last_outcome(&self) -> Option<AimOutcome> {
+        None
+    }
 
     /// Which placement this backend implements.
     fn placement(&self) -> MetaPlacement;
@@ -345,6 +361,8 @@ pub struct AimMeta {
     pub spills: Counter,
     /// Entries refilled from DRAM.
     pub refills: Counter,
+    /// Outcome of the most recent `ensure` (forensics provenance).
+    last: Option<AimOutcome>,
 }
 
 impl AimMeta {
@@ -360,6 +378,7 @@ impl AimMeta {
             misses: Counter::default(),
             spills: Counter::default(),
             refills: Counter::default(),
+            last: None,
         }
     }
 
@@ -367,36 +386,39 @@ impl AimMeta {
     /// new), possibly refilling from or spilling to the DRAM table.
     pub fn ensure(&mut self, line: LineAddr) -> AimOutcome {
         self.accesses.inc();
-        if self.array.contains(line.0) {
+        let outcome = if self.array.contains(line.0) {
             self.hits.inc();
             // Touch for recency.
             let _ = self.array.get_mut(line.0);
-            return AimOutcome {
+            AimOutcome {
                 hit: true,
                 ..Default::default()
-            };
-        }
-        self.misses.inc();
-        let (entry, refilled) = match self.backing.remove(&line.0) {
-            Some(m) => (m, true),
-            None => (MetaMap::new(), false),
-        };
-        if refilled {
-            self.refills.inc();
-        }
-        let mut spilled = false;
-        if let Some((victim, vmeta)) = self.array.insert(line.0, entry) {
-            if !vmeta.is_empty() {
-                self.backing.insert(victim, vmeta);
-                self.spills.inc();
-                spilled = true;
             }
-        }
-        AimOutcome {
-            hit: false,
-            refilled,
-            spilled,
-        }
+        } else {
+            self.misses.inc();
+            let (entry, refilled) = match self.backing.remove(&line.0) {
+                Some(m) => (m, true),
+                None => (MetaMap::new(), false),
+            };
+            if refilled {
+                self.refills.inc();
+            }
+            let mut spilled = false;
+            if let Some((victim, vmeta)) = self.array.insert(line.0, entry) {
+                if !vmeta.is_empty() {
+                    self.backing.insert(victim, vmeta);
+                    self.spills.inc();
+                    spilled = true;
+                }
+            }
+            AimOutcome {
+                hit: false,
+                refilled,
+                spilled,
+            }
+        };
+        self.last = Some(outcome);
+        outcome
     }
 
     /// The resident entry for `line`. Panics if not ensured first.
@@ -617,6 +639,10 @@ impl MetaBackend for AimMeta {
             self.misses.get(),
             self.spills.get(),
         ))
+    }
+
+    fn last_outcome(&self) -> Option<AimOutcome> {
+        self.last
     }
 
     fn placement(&self) -> MetaPlacement {

@@ -8,6 +8,7 @@
 //! attach to lines.
 
 use crate::exception::ConflictException;
+use crate::forensics::DetectPath;
 use rce_cache::{Directory, Llc};
 use rce_common::obs::{EventClass, SharedTracer, SimEvent};
 use rce_common::{
@@ -27,6 +28,11 @@ pub struct AccessResult {
     pub done: Cycles,
     /// Conflicts detected while performing it.
     pub exceptions: Vec<ConflictException>,
+    /// Detection provenance, aligned with `exceptions` (`paths[i]`
+    /// explains how `exceptions[i]` was found). Engines fill this
+    /// unconditionally — exceptions are rare, so the cost is nil and
+    /// the forensics layer needs no extra engine gating.
+    pub paths: Vec<DetectPath>,
 }
 
 /// Everything shared between designs.

@@ -1,6 +1,7 @@
 //! Simulation reports and cross-design normalization.
 
 use crate::exception::ConflictException;
+use crate::forensics::ForensicsReport;
 use rce_common::json::{FromJson, JsonValue, ToJson};
 use rce_common::obs::{MetricsTimeline, TraceLog};
 use rce_common::{impl_json_struct, Bytes, Cycles, PicoJoules, ProtocolKind};
@@ -117,6 +118,9 @@ pub struct SimReport {
     pub timeline: Option<MetricsTimeline>,
     /// Event trace (observability runs only).
     pub trace: Option<TraceLog>,
+    /// Conflict provenance: heatmaps, lifetimes, and per-exception
+    /// root-cause records (forensics runs only).
+    pub forensics: Option<ForensicsReport>,
 }
 
 // Hand-written (not `impl_json_struct!`) for one reason: the
@@ -163,6 +167,9 @@ impl ToJson for SimReport {
         if let Some(t) = &self.trace {
             fields.push(("trace".to_string(), t.to_json()));
         }
+        if let Some(f) = &self.forensics {
+            fields.push(("forensics".to_string(), f.to_json()));
+        }
         JsonValue::Object(fields)
     }
 }
@@ -202,6 +209,7 @@ impl FromJson for SimReport {
             aborted: FromJson::from_json(v.field("aborted")?)?,
             timeline: opt(v, "timeline")?,
             trace: opt(v, "trace")?,
+            forensics: opt(v, "forensics")?,
         })
     }
 }
@@ -344,6 +352,7 @@ mod tests {
             aborted: false,
             timeline: None,
             trace: None,
+            forensics: None,
         }
     }
 
@@ -353,6 +362,7 @@ mod tests {
         let j = rce_common::json::to_string(&plain);
         assert!(!j.contains("\"timeline\""));
         assert!(!j.contains("\"trace\""));
+        assert!(!j.contains("\"forensics\""));
         let back: SimReport = rce_common::json::from_str(&j).unwrap();
         assert!(back.timeline.is_none() && back.trace.is_none());
 

@@ -89,4 +89,50 @@ for design in "CE+" "ARC"; do
 done
 echo "ok: ablate-aim wrote R-A7.json with CE+ and ARC curves"
 
+echo "== forensics smoke (paper explain) =="
+# A conflict-bearing workload must produce at least one provenance
+# record naming both endpoints and the detecting metadata path.
+for engine in CE CE+ ARC; do
+    out=$(cargo run -q --release --offline -p rce-bench --bin paper -- \
+        explain racy_pair "$engine" --cores 4 --scale 1 --seed 42)
+    if ! printf '%s' "$out" | grep -q "found via:"; then
+        echo "FAIL: paper explain racy_pair $engine printed no provenance record" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$out" | grep -q "hottest conflict lines:"; then
+        echo "FAIL: paper explain racy_pair $engine printed no heatmap" >&2
+        exit 1
+    fi
+done
+echo "ok: paper explain names both endpoints and the detection path"
+
+echo "== report diffing (paper diff) =="
+# Self-diff of a pinned golden must be empty and exit 0; an injected
+# counter drift must be caught with exit 1.
+cargo run -q --release --offline -p rce-bench --bin paper -- \
+    diff tests/goldens/canneal-4c-ce.json tests/goldens/canneal-4c-ce.json 2>/dev/null
+sed 's/"mem_ops": [0-9]*/"mem_ops": 1/' tests/goldens/canneal-4c-ce.json \
+    >"$obs_out/drifted.json"
+if cargo run -q --release --offline -p rce-bench --bin paper -- \
+    diff tests/goldens/canneal-4c-ce.json "$obs_out/drifted.json" >/dev/null 2>&1; then
+    echo "FAIL: paper diff did not flag an injected counter drift" >&2
+    exit 1
+fi
+echo "ok: self-diff is clean, injected drift exits nonzero"
+
+echo "== perf trajectory gate (paper trajectory + diff) =="
+# Re-run the pinned micro-sweep and compare against the committed
+# baseline. The sweep is deterministic; the tolerance only leaves room
+# for deliberate, reviewed model changes (which must regenerate
+# results/bench_trajectory.json).
+cargo run -q --release --offline -p rce-bench --bin paper -- \
+    trajectory --out "$obs_out"
+if ! cargo run -q --release --offline -p rce-bench --bin paper -- \
+    diff results/bench_trajectory.json "$obs_out/bench_trajectory.json" --tolerance 2; then
+    echo "FAIL: bench trajectory drifted beyond 2% of the committed baseline" >&2
+    echo "      (regenerate results/bench_trajectory.json if the change is intended)" >&2
+    exit 1
+fi
+echo "ok: bench trajectory matches the committed baseline"
+
 echo "== ci passed =="

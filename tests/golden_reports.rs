@@ -55,3 +55,33 @@ fn seed_engine_reports_are_byte_identical() {
         );
     }
 }
+
+/// The forensics layer obeys the same zero-perturbation contract as
+/// tracing and sampling: run every seed engine with forensics on,
+/// strip the `forensics` section, and the bytes must equal the pinned
+/// goldens exactly.
+#[test]
+fn forensics_on_reports_strip_to_the_seed_goldens() {
+    let program = WorkloadSpec::Canneal.build(4, 3, 42);
+    for &p in ProtocolKind::ALL.iter() {
+        let slug = p.name().replace('+', "plus").to_lowercase();
+        let name = format!("canneal-4c-{slug}.json");
+        let want = std::fs::read_to_string(golden_path(&name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        let cfg = MachineConfig::paper_default(4, p);
+        let mut report = Machine::new(&cfg)
+            .unwrap()
+            .with_observability(rce_common::ObsConfig::forensics_only())
+            .run(&program)
+            .unwrap();
+        assert!(report.forensics.is_some(), "{name}: forensics was on");
+        report.forensics = None;
+        let mut got = rce_common::json::to_string_pretty(&report);
+        got.push('\n');
+        assert!(
+            got == want,
+            "{name}: forensics perturbed the simulation (stripped report \
+             differs from the pinned golden)"
+        );
+    }
+}

@@ -161,6 +161,45 @@ fn word_mask_span_covers_access() {
     );
 }
 
+/// Forensics heatmaps account for every materialized detection: on
+/// arbitrary (racy) programs, the heatmap total equals the detector's
+/// `conflict_checks_hit` counter and the record count equals the
+/// delivered exception set, for every detecting engine.
+#[test]
+fn forensics_heatmaps_match_detector_counters() {
+    check_n(
+        "forensics_heatmaps_match_detector_counters",
+        32,
+        gen_program_desc,
+        |&(seed, threads, ops)| {
+            let p = build_program(seed, threads, ops);
+            for proto in ProtocolKind::DETECTORS {
+                let cfg = MachineConfig::paper_default(threads, proto);
+                let r = Machine::new(&cfg)
+                    .unwrap()
+                    .with_observability(rce_common::ObsConfig::forensics_only())
+                    .run(&p)
+                    .unwrap();
+                let f = r.forensics.as_ref().expect("forensics was on");
+                let hits = r
+                    .engine_counters
+                    .iter()
+                    .find(|(k, _)| k == "conflict_checks_hit")
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                prop_assert_eq!(f.total_detections, hits, "{proto}: totals");
+                prop_assert_eq!(f.heatmap_total(), hits, "{proto}: heatmap sum");
+                prop_assert_eq!(f.delivered, r.exceptions.len() as u64, "{proto}: delivered");
+                prop_assert!(
+                    f.records.len() as u64 + f.truncated_records == f.delivered,
+                    "{proto}: records + truncated == delivered"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Workload generation is deterministic in the seed.
 #[test]
 fn workloads_deterministic() {
