@@ -50,8 +50,9 @@ fn usage() -> ! {
          [--jobs N] [--out DIR]\n       paper trace <workload> <engine> [--cores N] [--scale N] \
          [--seed N] [--out DIR]\n       paper report <workload> <engine> [--cores N] [--scale N] \
          [--seed N]\n       paper explain <workload> <engine> [--cores N] [--scale N] [--seed N] \
-         [--top K]\n       paper diff <a.json> <b.json> [--tolerance PCT]\n       paper \
-         trajectory [--out DIR]\nexperiments: {}\nablations: {}\nengines: {}",
+         [--top K]\n       paper diff <a.json> <b.json> [--tolerance PCT] [--ignore PATHSUBSTR]...\n       \
+         paper trajectory [--out DIR]\n       paper bench-hot [--smoke]\nexperiments: {}\n\
+         ablations: {}\nengines: {}",
         Experiment::ALL
             .iter()
             .map(|e| e.name())
@@ -82,6 +83,8 @@ fn main() {
     let mut out_dir = "results".to_string();
     let mut top = 5usize;
     let mut tolerance = 0.0f64;
+    let mut ignores: Vec<String> = Vec::new();
+    let mut smoke = false;
     // `trace`, `report`, `explain` (workload + engine) and `diff`
     // (two report files) take two positional operands before the flags.
     let has_operands =
@@ -121,6 +124,14 @@ fn main() {
                 tolerance = need_val(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--ignore" => {
+                ignores.push(need_val(i));
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
             _ => usage(),
         }
     }
@@ -141,12 +152,17 @@ fn main() {
     }
 
     if command == "diff" {
-        run_diff(&args[1], &args[2], tolerance);
+        run_diff(&args[1], &args[2], tolerance, &ignores);
         return;
     }
 
     if command == "trajectory" {
         run_trajectory(&out_dir);
+        return;
+    }
+
+    if command == "bench-hot" {
+        run_bench_hot(smoke);
         return;
     }
 
@@ -453,8 +469,11 @@ fn run_explain(workload: &str, engine: &str, params: &EvalParams, top: usize) {
 
 /// `paper diff <a.json> <b.json>`: structural comparison of two report
 /// documents. Prints every out-of-tolerance drift with its JSON path
-/// and exits 1 if any exist; a clean comparison exits 0.
-fn run_diff(path_a: &str, path_b: &str, tolerance: f64) {
+/// and exits 1 if any exist; a clean comparison exits 0. `--ignore`
+/// (repeatable) drops drifts whose path contains the given substring —
+/// how CI skips the machine-dependent `hot_path.measured` section of
+/// the trajectory baseline while still gating everything else.
+fn run_diff(path_a: &str, path_b: &str, tolerance: f64, ignores: &[String]) {
     let load = |p: &str| -> json::JsonValue {
         let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
             eprintln!("cannot read {p}: {e}");
@@ -467,7 +486,15 @@ fn run_diff(path_a: &str, path_b: &str, tolerance: f64) {
     };
     let a = load(path_a);
     let b = load(path_b);
-    let drifts = diff_values(&a, &b, tolerance);
+    let mut drifts = diff_values(&a, &b, tolerance);
+    let before = drifts.len();
+    drifts.retain(|d| !ignores.iter().any(|s| d.path.contains(s.as_str())));
+    if before > drifts.len() {
+        eprintln!(
+            "({} drift(s) in --ignore'd paths skipped)",
+            before - drifts.len()
+        );
+    }
     if drifts.is_empty() {
         eprintln!("{path_a} and {path_b} match within {tolerance}% tolerance");
         return;
@@ -518,11 +545,25 @@ fn run_trajectory(out_dir: &str) {
             }));
         }
     }
+    // Simulator throughput rides along in a `hot_path` section: the
+    // `pinned` half (the speedup floor) diffs exactly like any other
+    // field, while the `measured` half is wall time — machine-dependent
+    // by nature — so CI compares with `--ignore hot_path.measured`.
+    let m = rce_bench::hotpath::measure(true);
     let payload = json!({
         "id": "bench_trajectory",
         "cores": TRAJECTORY_CORES,
         "scale": TRAJECTORY_SCALE,
         "seed": TRAJECTORY_SEED,
+        "hot_path": json!({
+            "pinned": json!({
+                "min_speedup_x": rce_bench::hotpath::MIN_SPEEDUP_X,
+            }),
+            "measured": json!({
+                "ns_per_access": m.ns_per_access,
+                "speedup_vs_hashmap": m.speedup_vs_hashmap,
+            }),
+        }),
         "rows": rows,
     });
     std::fs::create_dir_all(out_dir).expect("create results directory");
@@ -530,6 +571,25 @@ fn run_trajectory(out_dir: &str) {
     let mut file = std::fs::File::create(&path).expect("write trajectory file");
     writeln!(file, "{}", json::to_string_pretty(&payload)).unwrap();
     eprintln!("   wrote {path}");
+}
+
+/// `paper bench-hot [--smoke]`: time the simulator's hot-path storage
+/// against `std::collections` references doing identical work, plus
+/// the AIM spill/refill path and one end-to-end run. Exits 1 if the
+/// flat raw-access path falls below
+/// [`rce_bench::hotpath::MIN_SPEEDUP_X`] — the throughput-regression
+/// gate `scripts/ci.sh` runs in `--smoke` mode.
+fn run_bench_hot(smoke: bool) {
+    let m = rce_bench::hotpath::run(smoke);
+    if m.speedup_vs_hashmap < rce_bench::hotpath::MIN_SPEEDUP_X {
+        eprintln!(
+            "FAIL: flat raw-access path is only {:.2}x the HashMap reference \
+             (floor {}x) — the hot path has regressed",
+            m.speedup_vs_hashmap,
+            rce_bench::hotpath::MIN_SPEEDUP_X
+        );
+        std::process::exit(1);
+    }
 }
 
 fn write_result(out_dir: &str, fig: &rce_bench::FigureOutput, params: &EvalParams) {

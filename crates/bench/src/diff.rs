@@ -60,6 +60,17 @@ fn walk(path: &str, a: &JsonValue, b: &JsonValue, tol: f64, out: &mut Vec<Drift>
         if x == y {
             return;
         }
+        // A zero baseline has no meaningful relative delta: a counter
+        // that was 0 and became nonzero (or vice versa) is a behavior
+        // change, not drift, so it compares exactly no matter how
+        // generous the tolerance is.
+        if x == 0.0 || y == 0.0 {
+            out.push(Drift {
+                path: path.to_string(),
+                detail: format!("{x} vs {y} (zero baseline compares exactly)"),
+            });
+            return;
+        }
         let rel = (x - y).abs() / x.abs().max(y.abs()) * 100.0;
         if rel > tol {
             out.push(Drift {
@@ -155,6 +166,24 @@ mod tests {
         assert_eq!(d[0].path, "$.u");
         // Zero tolerance means exact.
         assert_eq!(diff_values(&a, &b, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn zero_baseline_mismatch_ignores_tolerance() {
+        let a = v(r#"{"exceptions": 0, "cycles": 1000}"#);
+        let b = v(r#"{"exceptions": 3, "cycles": 1000}"#);
+        // Even an absurdly generous tolerance cannot absorb a counter
+        // appearing out of nothing — 0 vs 3 is a behavior change.
+        for tol in [0.0, 50.0, 100.0, 1e6] {
+            let d = diff_values(&a, &b, tol);
+            assert_eq!(d.len(), 1, "tolerance {tol}");
+            assert_eq!(d[0].path, "$.exceptions");
+            assert!(d[0].detail.contains("zero baseline"), "{}", d[0].detail);
+        }
+        // Symmetric: nonzero baseline dropping to zero drifts too.
+        assert_eq!(diff_values(&b, &a, 1e6).len(), 1);
+        // Both zero is equal, not a drift.
+        assert!(diff_values(&a, &a, 0.0).is_empty());
     }
 
     #[test]

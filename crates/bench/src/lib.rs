@@ -20,6 +20,7 @@ pub mod ablations;
 pub mod bencher;
 pub mod diff;
 pub mod figures;
+pub mod hotpath;
 pub mod profile;
 pub mod runner;
 pub mod summary;
@@ -27,4 +28,6 @@ pub mod summary;
 pub use ablations::Ablation;
 pub use bencher::Bencher;
 pub use figures::{Experiment, FigureOutput};
-pub use runner::{run_one, run_one_obs, run_suite, EvalParams, RunKey, SweepResults};
+pub use runner::{
+    run_one, run_one_obs, run_suite, run_suite_with, EvalParams, RunKey, SweepResults,
+};

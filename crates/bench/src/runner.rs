@@ -6,11 +6,22 @@
 //! returned [`SweepResults`] is always in cross-product order no
 //! matter how the OS schedules the workers.
 
-use rce_common::{MachineConfig, ObsConfig, ProtocolKind};
+use rce_common::{MachineConfig, ObsConfig, ProtocolKind, RceError, RceResult};
 use rce_core::{Machine, SimReport};
 use rce_trace::WorkloadSpec;
-use std::sync::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Lock acquisition that survives poisoning. Every mutex in the sweep
+/// guards plain data (a cursor integer, a result slot) that is valid
+/// at every sequence point, so a worker that panicked while holding
+/// one leaves nothing half-updated — recover the guard instead of
+/// cascading the panic into every other worker and losing the whole
+/// sweep's results.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Evaluation parameters shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +56,18 @@ pub struct RunKey {
     pub protocol: ProtocolKind,
     /// Core count.
     pub cores: usize,
+}
+
+impl std::fmt::Display for RunKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{:?}/{}c",
+            self.workload.name(),
+            self.protocol,
+            self.cores
+        )
+    }
 }
 
 /// Sweep reports in deterministic cross-product order
@@ -158,13 +181,53 @@ pub fn run_one_obs(
 }
 
 /// Run a full sweep in parallel; returns reports in cross-product
-/// (FIFO) key order regardless of worker scheduling.
+/// (FIFO) key order regardless of worker scheduling. Panics if any
+/// run fails — paper workloads always simulate cleanly, so a failure
+/// here is a harness bug (use [`run_suite_with`] for fallible runs).
 pub fn run_suite(
     workloads: &[WorkloadSpec],
     protocols: &[ProtocolKind],
     core_counts: &[usize],
     params: &EvalParams,
 ) -> SweepResults {
+    let outcomes = run_suite_with(workloads, protocols, core_counts, params, |key| {
+        Ok(run_one(
+            key.workload,
+            key.protocol,
+            key.cores,
+            params.scale,
+            params.seed,
+        ))
+    });
+    SweepResults {
+        entries: outcomes
+            .into_iter()
+            .map(|(k, r)| match r {
+                Ok(report) => (k, report),
+                Err(e) => panic!("sweep run {k} failed: {e}"),
+            })
+            .collect(),
+    }
+}
+
+/// Fallible parallel sweep over an arbitrary per-key runner.
+///
+/// Each key's outcome comes back in enqueue (cross-product) order. One
+/// run failing — or even panicking — never takes down the rest of the
+/// sweep: a panic inside `run` is caught and surfaced as
+/// [`RceError::InvariantViolated`] naming the offending sweep key,
+/// poisoned queue/slot locks are recovered (see [`lock_unpoisoned`]),
+/// and every other queued run still executes and reports.
+pub fn run_suite_with<F>(
+    workloads: &[WorkloadSpec],
+    protocols: &[ProtocolKind],
+    core_counts: &[usize],
+    params: &EvalParams,
+    run: F,
+) -> Vec<(RunKey, RceResult<SimReport>)>
+where
+    F: Fn(RunKey) -> RceResult<SimReport> + Sync,
+{
     let mut keys = Vec::new();
     for &w in workloads {
         for &p in protocols {
@@ -189,12 +252,13 @@ pub fn run_suite(
     // FIFO work queue: a shared cursor into `keys`; per-key result
     // slots keep the output in enqueue order.
     let next = Mutex::new(0usize);
-    let slots: Vec<Mutex<Option<SimReport>>> = keys.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<RceResult<SimReport>>>> =
+        keys.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
                 let i = {
-                    let mut n = next.lock().expect("work-queue lock poisoned");
+                    let mut n = lock_unpoisoned(&next);
                     if *n >= keys.len() {
                         break;
                     }
@@ -203,30 +267,35 @@ pub fn run_suite(
                     i
                 };
                 let key = keys[i];
-                let report = run_one(
-                    key.workload,
-                    key.protocol,
-                    key.cores,
-                    params.scale,
-                    params.seed,
-                );
-                *slots[i].lock().expect("result-slot lock poisoned") = Some(report);
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run(key)))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err(RceError::InvariantViolated(format!(
+                            "sweep run {key} panicked: {msg}"
+                        )))
+                    });
+                *lock_unpoisoned(&slots[i]) = Some(outcome);
             });
         }
     });
-    SweepResults {
-        entries: keys
-            .into_iter()
-            .zip(slots)
-            .map(|(k, slot)| {
-                let r = slot
-                    .into_inner()
-                    .expect("result-slot lock poisoned")
-                    .expect("every queued run completes");
-                (k, r)
-            })
-            .collect(),
-    }
+    keys.into_iter()
+        .zip(slots)
+        .map(|(k, slot)| {
+            let r = slot
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .unwrap_or_else(|| {
+                    Err(RceError::InvariantViolated(format!(
+                        "sweep run {k} was claimed but never reported"
+                    )))
+                });
+            (k, r)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -302,6 +371,87 @@ mod tests {
         assert_eq!(plain.exceptions.len(), obs.exceptions.len());
         assert!(obs.trace.is_some() && obs.timeline.is_some());
         assert!(plain.trace.is_none() && plain.timeline.is_none());
+    }
+
+    #[test]
+    fn failed_run_does_not_sink_the_sweep() {
+        let workloads = [WorkloadSpec::PingPong, WorkloadSpec::PrivateOnly];
+        let protocols = [ProtocolKind::MesiBaseline, ProtocolKind::Ce];
+        let params = EvalParams {
+            cores: 2,
+            scale: 1,
+            seed: 1,
+            jobs: 2,
+        };
+        // The second enqueued run (PingPong/Ce) fails; the rest must
+        // still execute and come back in enqueue order.
+        let out = run_suite_with(&workloads, &protocols, &[2], &params, |key| {
+            if key.protocol == ProtocolKind::Ce && key.workload == WorkloadSpec::PingPong {
+                Err(RceError::LimitExceeded("injected mid-sweep failure".into()))
+            } else {
+                Ok(run_one(key.workload, key.protocol, key.cores, 1, 1))
+            }
+        });
+        assert_eq!(out.len(), 4);
+        let expected: Vec<RunKey> = workloads
+            .iter()
+            .flat_map(|&w| {
+                protocols.iter().map(move |&p| RunKey {
+                    workload: w,
+                    protocol: p,
+                    cores: 2,
+                })
+            })
+            .collect();
+        let got: Vec<RunKey> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, expected, "outcomes stay in enqueue order");
+        for (i, (key, r)) in out.iter().enumerate() {
+            if i == 1 {
+                assert!(
+                    matches!(r, Err(RceError::LimitExceeded(_))),
+                    "injected failure surfaces as its own error"
+                );
+            } else {
+                let report = r.as_ref().expect("other queued runs still complete");
+                assert_eq!(report.cores, key.cores);
+                assert_eq!(report.protocol, key.protocol);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_run_surfaces_as_error_with_its_key() {
+        let params = EvalParams {
+            cores: 2,
+            scale: 1,
+            seed: 1,
+            jobs: 2,
+        };
+        // Keep the worker's caught panic out of the test log.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_suite_with(
+            &[WorkloadSpec::PingPong, WorkloadSpec::PrivateOnly],
+            &[ProtocolKind::MesiBaseline],
+            &[2],
+            &params,
+            |key| {
+                if key.workload == WorkloadSpec::PingPong {
+                    panic!("worker died mid-run");
+                }
+                Ok(run_one(key.workload, key.protocol, key.cores, 1, 1))
+            },
+        );
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), 2);
+        match &out[0].1 {
+            Err(RceError::InvariantViolated(m)) => {
+                assert!(m.contains("ping_pong"), "names the offending key: {m}");
+                assert!(m.contains("worker died mid-run"), "{m}");
+            }
+            other => panic!("expected InvariantViolated, got {other:?}"),
+        }
+        assert!(out[1].1.is_ok(), "the other queued run still completes");
     }
 
     #[test]

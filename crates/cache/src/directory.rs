@@ -6,8 +6,7 @@
 //! checks (`check_invariants`) run in debug tests to catch protocol
 //! bugs — e.g. an owner coexisting with sharers.
 
-use rce_common::CoreId;
-use std::collections::HashMap;
+use rce_common::{CoreId, LineAddr, LineMap, LineTable};
 
 /// Directory state for one line.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,9 +42,20 @@ impl DirEntry {
 }
 
 /// The directory: line → entry. Modeled unbounded (see crate docs).
+///
+/// Storage is flat: lines are interned once into a [`LineTable`] and
+/// entries live in a dense vector indexed by the interned id, so the
+/// per-coherence-event lookups the engines issue are array indexing
+/// rather than hashing. An idle entry is indistinguishable from an
+/// absent one (both are the default `DirEntry`), which preserves the
+/// reclaim semantics of the old map-backed version.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    table: LineTable,
+    entries: LineMap<DirEntry>,
+    /// Count of non-idle entries (what a real directory would have to
+    /// track capacity for).
+    tracked: usize,
     cores: usize,
 }
 
@@ -54,68 +64,89 @@ impl Directory {
     pub fn new(cores: usize) -> Self {
         assert!(cores <= 64, "full-map directory supports up to 64 cores");
         Directory {
-            entries: HashMap::new(),
+            table: LineTable::new(),
+            entries: LineMap::new(),
+            tracked: 0,
             cores,
         }
     }
 
+    /// Mutate a line's entry, keeping the non-idle count in sync.
+    #[inline]
+    fn update(&mut self, line: LineAddr, f: impl FnOnce(&mut DirEntry)) {
+        let id = self.table.intern(line);
+        let e = self.entries.slot(id);
+        let was_idle = e.is_idle();
+        f(e);
+        match (was_idle, e.is_idle()) {
+            (true, false) => self.tracked += 1,
+            (false, true) => self.tracked -= 1,
+            _ => {}
+        }
+    }
+
     /// Entry for a line (idle default if never seen).
-    pub fn entry(&self, line: rce_common::LineAddr) -> DirEntry {
-        self.entries.get(&line.0).copied().unwrap_or_default()
+    pub fn entry(&self, line: LineAddr) -> DirEntry {
+        self.table
+            .lookup(line)
+            .and_then(|id| self.entries.get(id).copied())
+            .unwrap_or_default()
     }
 
     /// Add a sharer.
-    pub fn add_sharer(&mut self, line: rce_common::LineAddr, c: CoreId) {
+    pub fn add_sharer(&mut self, line: LineAddr, c: CoreId) {
         debug_assert!(c.index() < self.cores);
-        let e = self.entries.entry(line.0).or_default();
-        debug_assert!(
-            e.owner.is_none() || e.owner == Some(c),
-            "adding sharer while another core owns the line"
-        );
-        e.owner = None;
-        e.sharers |= 1u64 << c.0;
+        self.update(line, |e| {
+            debug_assert!(
+                e.owner.is_none() || e.owner == Some(c),
+                "adding sharer while another core owns the line"
+            );
+            e.owner = None;
+            e.sharers |= 1u64 << c.0;
+        });
     }
 
     /// Add a sharer while keeping the current owner (MOESI: a dirty
     /// Owned copy coexists with clean Shared copies).
-    pub fn add_sharer_keep_owner(&mut self, line: rce_common::LineAddr, c: CoreId) {
+    pub fn add_sharer_keep_owner(&mut self, line: LineAddr, c: CoreId) {
         debug_assert!(c.index() < self.cores);
-        let e = self.entries.entry(line.0).or_default();
-        e.sharers |= 1u64 << c.0;
+        self.update(line, |e| e.sharers |= 1u64 << c.0);
     }
 
     /// Remove a sharer (invalidation or eviction notice).
-    pub fn remove_sharer(&mut self, line: rce_common::LineAddr, c: CoreId) {
-        if let Some(e) = self.entries.get_mut(&line.0) {
+    pub fn remove_sharer(&mut self, line: LineAddr, c: CoreId) {
+        if self.table.lookup(line).is_none() {
+            return;
+        }
+        self.update(line, |e| {
             e.sharers &= !(1u64 << c.0);
             if e.owner == Some(c) {
                 e.owner = None;
             }
-            if e.is_idle() {
-                self.entries.remove(&line.0);
-            }
-        }
+        });
     }
 
     /// Grant exclusive ownership to `c`, clearing all sharers. The
     /// caller is responsible for having invalidated them.
-    pub fn set_owner(&mut self, line: rce_common::LineAddr, c: CoreId) {
+    pub fn set_owner(&mut self, line: LineAddr, c: CoreId) {
         debug_assert!(c.index() < self.cores);
-        let e = self.entries.entry(line.0).or_default();
-        e.sharers = 1u64 << c.0;
-        e.owner = Some(c);
+        self.update(line, |e| {
+            e.sharers = 1u64 << c.0;
+            e.owner = Some(c);
+        });
     }
 
     /// Downgrade the owner to a plain sharer (on a remote read).
-    pub fn downgrade_owner(&mut self, line: rce_common::LineAddr) {
-        if let Some(e) = self.entries.get_mut(&line.0) {
-            e.owner = None;
+    pub fn downgrade_owner(&mut self, line: LineAddr) {
+        if self.table.lookup(line).is_none() {
+            return;
         }
+        self.update(line, |e| e.owner = None);
     }
 
     /// Sharers other than `except`, as a Vec (for invalidation
     /// multicasts).
-    pub fn sharers_except(&self, line: rce_common::LineAddr, except: CoreId) -> Vec<CoreId> {
+    pub fn sharers_except(&self, line: LineAddr, except: CoreId) -> Vec<CoreId> {
         self.entry(line)
             .sharer_cores()
             .filter(|c| *c != except)
@@ -124,7 +155,7 @@ impl Directory {
 
     /// Number of tracked (non-idle) lines.
     pub fn tracked_lines(&self) -> usize {
-        self.entries.len()
+        self.tracked
     }
 
     /// Check protocol invariants assuming exclusive (MESI) ownership.
@@ -138,7 +169,11 @@ impl Directory {
     /// coexists with Shared copies — the owner's bit must still be
     /// set).
     pub fn check_invariants_mode(&self, exclusive_owner: bool) -> Result<(), String> {
-        for (line, e) in &self.entries {
+        for (id, e) in self.entries.iter() {
+            if e.is_idle() {
+                continue;
+            }
+            let line = self.table.addr(id).0;
             if let Some(o) = e.owner {
                 if exclusive_owner && e.sharers != (1u64 << o.0) {
                     return Err(format!(

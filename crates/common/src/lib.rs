@@ -28,6 +28,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod json;
+pub mod line;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -42,6 +43,7 @@ pub use config::{
 pub use error::{RceError, RceResult};
 pub use ids::{BarrierId, CoreId, LockId, RegionId, ThreadId};
 pub use json::{FromJson, JsonValue, ToJson};
+pub use line::{LineFlags, LineId, LineMap, LineSet, LineTable};
 pub use obs::{
     EventClass, EventKind, ForensicsConfig, GaugeSnapshot, IntervalSample, MetricsSampler,
     MetricsTimeline, ObsConfig, SharedTracer, SimEvent, TraceConfig, TraceFilter, TraceLog, Tracer,

@@ -140,11 +140,14 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Approximate percentile (bucket upper bound), `p` in `[0, 100]`.
+    /// Approximate percentile (bucket upper bound). `p` is clamped
+    /// into `[0, 100]` (NaN behaves like 0), and an empty histogram
+    /// reports 0 at any percentile.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let target = (p / 100.0 * self.count as f64).ceil() as u64;
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
@@ -279,6 +282,29 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), None);
         assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero_at_any_percentile() {
+        let h = Histogram::new();
+        for p in [-10.0, 0.0, 50.0, 100.0, 250.0, f64::NAN] {
+            assert_eq!(h.percentile(p), 0, "empty histogram at p={p}");
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_clamps_out_of_range_p() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        // Below-range and NaN behave like p=0; above-range like p=100.
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::NAN), h.percentile(0.0));
+        assert_eq!(h.percentile(1e9), h.percentile(100.0));
+        // The ends stay within the recorded range's bucket bounds.
+        assert!(h.percentile(0.0) >= 1);
+        assert!(h.percentile(100.0) >= 999);
     }
 
     #[test]

@@ -40,10 +40,10 @@ use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::L1Cache;
 use rce_common::obs::{EventClass, EventKind, SimEvent};
 use rce_common::{
-    Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, RceError, RceResult, WordMask,
+    Addr, CoreId, Counter, Cycles, LineAddr, LineFlags, LineMap, LineSet, LineTable, MachineConfig,
+    RceError, RceResult, WordMask,
 };
 use rce_noc::MsgClass;
-use std::collections::{HashMap, HashSet};
 
 /// Per-line L1 state for ARC.
 #[derive(Debug, Clone, Default)]
@@ -80,13 +80,18 @@ pub struct ArcEngine {
     meta: Box<dyn MetaBackend>,
     /// The conflict detector (shared logic with the MESI family).
     detect: Detector,
-    class: HashMap<u64, Class>,
+    /// Engine-local intern table: the flat per-line state below is
+    /// indexed by the dense id, so classification and registration
+    /// bookkeeping do no hashing after a line's first touch.
+    lines: LineTable,
+    /// LLC-side classification (`None` = never touched).
+    class: LineMap<Option<Class>>,
     /// Lines that have ever been written (drives the read-only
     /// classification when `arc_readonly_sharing` is on).
-    written_ever: HashSet<u64>,
+    written_ever: LineFlags,
     /// Per core: lines with registrations this region (cleared at the
     /// boundary).
-    touched: Vec<HashSet<u64>>,
+    touched: Vec<LineSet>,
     registrations: Counter,
     recalls: Counter,
     self_invalidated: Counter,
@@ -105,9 +110,10 @@ impl ArcEngine {
             l1: (0..cfg.cores).map(|_| L1Cache::new(&cfg.l1)).collect(),
             meta: backend_for(cfg),
             detect: Detector::new(),
-            class: HashMap::new(),
-            written_ever: HashSet::new(),
-            touched: vec![HashSet::new(); cfg.cores],
+            lines: LineTable::new(),
+            class: LineMap::new(),
+            written_ever: LineFlags::new(),
+            touched: vec![LineSet::new(); cfg.cores],
             registrations: Counter::default(),
             recalls: Counter::default(),
             self_invalidated: Counter::default(),
@@ -138,7 +144,8 @@ impl ArcEngine {
                 .check_and_record(self.meta.entry_mut(line), me, mask, line, at, |c, r| {
                     sub.is_live(c, r)
                 });
-        self.touched[core.index()].insert(line.0);
+        let lid = self.lines.intern(line);
+        self.touched[core.index()].insert(lid);
         let path = DetectPath {
             placement: self.meta.placement(),
             site: DetectSite::Registration,
@@ -160,6 +167,7 @@ impl ArcEngine {
         t_at_bank: Cycles,
     ) -> Cycles {
         self.recalls.inc();
+        let lid = self.lines.intern(line);
         let bank = sub.bank_node(line);
         let owner_node = sub.core_node(owner);
         let probe = sub.noc.send(
@@ -173,7 +181,7 @@ impl ArcEngine {
         let owner_region = sub.region_of(owner);
         // The owner's surviving copy gets the same classification a
         // fresh fill would: read-only if the line was never written.
-        let ro_hint = sub.cfg.arc_readonly_sharing && !self.written_ever.contains(&line.0);
+        let ro_hint = sub.cfg.arc_readonly_sharing && !self.written_ever.contains(lid);
         if let Some(st) = self.l1[owner.index()].probe_mut(line) {
             st.shared = true;
             st.ro = ro_hint && st.written_words.is_empty() && st.dirty.is_empty();
@@ -192,7 +200,7 @@ impl ArcEngine {
                 reply = reply.max(wb);
             }
             if !written_words.is_empty() {
-                self.written_ever.insert(line.0);
+                self.written_ever.insert(lid);
             }
             // Merge the owner's current-region bits into the entry.
             if !read_words.is_empty() || !written_words.is_empty() {
@@ -211,7 +219,7 @@ impl ArcEngine {
                 if !written_words.is_empty() {
                     entry.record(owner, owner_region, AccessType::Write, written_words);
                 }
-                self.touched[owner.index()].insert(line.0);
+                self.touched[owner.index()].insert(lid);
             }
         } else {
             // Owner no longer caches it; its state already reached the
@@ -257,8 +265,9 @@ impl ArcEngine {
             // A private victim's current-region bits must stay visible
             // for conflict checks: spill them to the metadata layer.
             // (Shared victims registered eagerly; nothing to do.)
+            let vid = self.lines.intern(victim);
             if !vstate.written_words.is_empty() {
-                self.written_ever.insert(victim.0);
+                self.written_ever.insert(vid);
             }
             if !vstate.shared && (!vstate.read_words.is_empty() || !vstate.written_words.is_empty())
             {
@@ -275,7 +284,7 @@ impl ArcEngine {
                 if !vstate.written_words.is_empty() {
                     entry.record(core, region, AccessType::Write, vstate.written_words);
                 }
-                self.touched[core.index()].insert(victim.0);
+                self.touched[core.index()].insert(vid);
             }
         }
     }
@@ -285,7 +294,13 @@ impl ArcEngine {
     pub fn check_invariants(&self, _sub: &Substrate) -> Result<(), String> {
         for (c, cache) in self.l1.iter().enumerate() {
             for (line, st) in cache.iter() {
-                match self.class.get(&line.0) {
+                let cls = self
+                    .lines
+                    .lookup(line)
+                    .and_then(|id| self.class.get(id))
+                    .copied()
+                    .flatten();
+                match cls {
                     Some(Class::Private(owner)) => {
                         if owner.index() != c {
                             return Err(format!(
@@ -360,7 +375,8 @@ impl Engine for ArcEngine {
                 (st.shared, new)
             };
             if kind == AccessType::Write {
-                self.written_ever.insert(line.0);
+                let lid = self.lines.intern(line);
+                self.written_ever.insert(lid);
             }
             let done = Cycles(now.0 + l1_lat);
             let mut exceptions = Vec::new();
@@ -393,17 +409,18 @@ impl Engine for ArcEngine {
         sub.dir_access(); // classification lookup at the bank
 
         // Classification update.
+        let lid = self.lines.intern(line);
         if kind == AccessType::Write {
-            self.written_ever.insert(line.0);
+            self.written_ever.insert(lid);
         }
-        let cls = *self.class.entry(line.0).or_insert(Class::Private(core));
+        let cls = *self.class.slot(lid).get_or_insert(Class::Private(core));
         let mut t_ready = t1;
         let is_shared = match cls {
             Class::Private(owner) if owner != core => {
                 // Second core: recall, reclassify shared.
                 let t_aim = self.meta.ensure_at(sub, line, t1);
                 let t_recall = self.recall(sub, owner, line, t1);
-                self.class.insert(line.0, Class::Shared);
+                *self.class.slot(lid) = Some(Class::Shared);
                 t_ready = t_ready.max(t_aim).max(t_recall);
                 true
             }
@@ -415,7 +432,7 @@ impl Engine for ArcEngine {
             }
         };
         // Read-only hint: shared + never written.
-        let ro = is_shared && sub.cfg.arc_readonly_sharing && !self.written_ever.contains(&line.0);
+        let ro = is_shared && sub.cfg.arc_readonly_sharing && !self.written_ever.contains(lid);
 
         // Conflict check + registration for shared lines (the
         // registration rides the miss request).
@@ -493,8 +510,13 @@ impl Engine for ArcEngine {
         }
 
         // 2. Clear registrations (one signature message per line;
-        //    sorted for deterministic NoC contention).
-        let mut lines: Vec<u64> = self.touched[core.index()].drain().collect();
+        //    sorted by address for deterministic NoC contention, the
+        //    same order the old HashSet drain produced).
+        let mut lines: Vec<u64> = self.touched[core.index()]
+            .take()
+            .into_iter()
+            .map(|id| self.lines.addr(id).0)
+            .collect();
         lines.sort_unstable();
         for l in lines {
             let line = LineAddr(l);

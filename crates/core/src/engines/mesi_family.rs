@@ -39,11 +39,10 @@ use crate::protocol::{AccessResult, Engine, Substrate};
 use rce_cache::{L1Cache, MesiState};
 use rce_common::obs::{EventClass, EventKind, SimEvent};
 use rce_common::{
-    Addr, CoreId, Counter, Cycles, LineAddr, MachineConfig, ProtocolKind, RceError, RceResult,
-    WordMask,
+    Addr, CoreId, Counter, Cycles, LineAddr, LineFlags, LineMap, LineSet, LineTable, MachineConfig,
+    ProtocolKind, RceError, RceResult, WordMask,
 };
 use rce_noc::MsgClass;
-use std::collections::{HashMap, HashSet};
 
 /// Per-line L1 state for the MESI family.
 #[derive(Debug, Clone, Default)]
@@ -74,12 +73,18 @@ pub struct MesiFamilyEngine {
     /// This is what lets a read miss observe the write bits of a
     /// sharer that was earlier downgraded from M. On-chip; the
     /// piggyback bytes on the messages involved are already charged.
-    llc_meta: HashMap<u64, MetaMap>,
+    ///
+    /// All per-line state below is flat, indexed by ids from the
+    /// engine-local intern table `lines` — the per-access path does no
+    /// hashing after a line's first touch.
+    lines: LineTable,
+    /// LLC-side metadata copies (an empty map means "absent").
+    llc_meta: LineMap<MetaMap>,
     /// Lines that (may) have displaced metadata in the backend.
-    displaced: HashSet<u64>,
+    displaced: LineFlags,
     /// Per core: lines whose bits for that core's current region left
     /// its L1 and must be scrubbed at the region boundary.
-    foreign: Vec<HashSet<u64>>,
+    foreign: Vec<LineSet>,
     // Counters.
     invalidations: Counter,
     upgrades: Counter,
@@ -110,9 +115,10 @@ impl MesiFamilyEngine {
             l1: (0..cfg.cores).map(|_| L1Cache::new(&cfg.l1)).collect(),
             meta: backend_for(cfg),
             detect: Detector::new(),
-            llc_meta: HashMap::new(),
-            displaced: HashSet::new(),
-            foreign: vec![HashSet::new(); cfg.cores],
+            lines: LineTable::new(),
+            llc_meta: LineMap::new(),
+            displaced: LineFlags::new(),
+            foreign: vec![LineSet::new(); cfg.cores],
             invalidations: Counter::default(),
             upgrades: Counter::default(),
             owned_downgrades: Counter::default(),
@@ -144,17 +150,19 @@ impl MesiFamilyEngine {
         if !self.detection() || meta.is_empty() {
             return;
         }
-        let e = self.llc_meta.entry(line.0).or_default();
+        let id = self.lines.intern(line);
+        let e = self.llc_meta.slot(id);
         e.merge(meta);
         e.prune(|c, r| sub.is_live(c, r));
-        if e.is_empty() {
-            self.llc_meta.remove(&line.0);
-        }
     }
 
     /// The LLC-side metadata copy served with a fill.
     fn llc_meta_copy(&self, line: LineAddr) -> MetaMap {
-        self.llc_meta.get(&line.0).cloned().unwrap_or_default()
+        self.lines
+            .lookup(line)
+            .and_then(|id| self.llc_meta.get(id))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// True if `meta` holds nonempty bits of `core`'s current region.
@@ -168,12 +176,13 @@ impl MesiFamilyEngine {
     /// displaced skip the lookup entirely (the hardware's displaced
     /// filter).
     fn fetch_meta(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
-        if !self.displaced.contains(&line.0) {
-            return (t, MetaMap::new());
+        match self.lines.lookup(line) {
+            Some(id) if self.displaced.remove(id) => {
+                self.meta_lookups.inc();
+                self.meta.fetch(sub, line, t)
+            }
+            _ => (t, MetaMap::new()),
         }
-        self.displaced.remove(&line.0);
-        self.meta_lookups.inc();
-        self.meta.fetch(sub, line, t)
     }
 
     /// Push displaced metadata (from an evicted/invalidated copy) to
@@ -192,7 +201,8 @@ impl MesiFamilyEngine {
             return;
         }
         self.meta_pushes.inc();
-        self.displaced.insert(line.0);
+        let id = self.lines.intern(line);
+        self.displaced.insert(id);
         self.meta.push(sub, src, line, meta, at);
     }
 
@@ -208,7 +218,9 @@ impl MesiFamilyEngine {
         let me = sub.core_node(core);
         let (t, entry_gone) = self.meta.scrub(sub, me, core, line, at);
         if entry_gone {
-            self.displaced.remove(&line.0);
+            if let Some(id) = self.lines.lookup(line) {
+                self.displaced.remove(id);
+            }
         }
         t
     }
@@ -253,7 +265,8 @@ impl MesiFamilyEngine {
             }
             if self.detection() {
                 if Self::has_live_own(&vstate.meta, core, sub) {
-                    self.foreign[core.index()].insert(victim.0);
+                    let vid = self.lines.intern(victim);
+                    self.foreign[core.index()].insert(vid);
                 }
                 self.backend_push(sub, me, victim, vstate.meta, notice_at);
             }
@@ -269,6 +282,7 @@ impl MesiFamilyEngine {
         now: Cycles,
     ) -> RceResult<(Cycles, MetaMap)> {
         self.upgrades.inc();
+        let lid = self.lines.intern(line);
         let me = sub.core_node(core);
         let bank = sub.bank_node(line);
         let piggy = self.piggy(sub);
@@ -299,7 +313,7 @@ impl MesiFamilyEngine {
                     .ok_or_else(|| not_resident("directory sharer", s, line))?;
                 if self.detection() {
                     if Self::has_live_own(&st.meta, s, sub) {
-                        self.foreign[s.index()].insert(line.0);
+                        self.foreign[s.index()].insert(lid);
                     }
                     incoming.merge(&st.meta);
                 }
@@ -447,6 +461,7 @@ impl MesiFamilyEngine {
         line: LineAddr,
         now: Cycles,
     ) -> RceResult<(Cycles, MetaMap)> {
+        let lid = self.lines.intern(line);
         let me = sub.core_node(core);
         let bank = sub.bank_node(line);
         let piggy = self.piggy(sub);
@@ -476,7 +491,7 @@ impl MesiFamilyEngine {
                 .ok_or_else(|| not_resident("directory owner", owner, line))?;
             if self.detection() {
                 if Self::has_live_own(&st.meta, owner, sub) {
-                    self.foreign[owner.index()].insert(line.0);
+                    self.foreign[owner.index()].insert(lid);
                 }
                 incoming.merge(&st.meta);
             }
@@ -508,7 +523,7 @@ impl MesiFamilyEngine {
                         .ok_or_else(|| not_resident("directory sharer", s, line))?;
                     if self.detection() {
                         if Self::has_live_own(&st.meta, s, sub) {
-                            self.foreign[s.index()].insert(line.0);
+                            self.foreign[s.index()].insert(lid);
                         }
                         incoming.merge(&st.meta);
                     }
@@ -540,7 +555,7 @@ impl MesiFamilyEngine {
                         .ok_or_else(|| not_resident("directory sharer", s, line))?;
                     if self.detection() {
                         if Self::has_live_own(&st.meta, s, sub) {
-                            self.foreign[s.index()].insert(line.0);
+                            self.foreign[s.index()].insert(lid);
                         }
                         incoming.merge(&st.meta);
                     }
@@ -731,9 +746,14 @@ impl Engine for MesiFamilyEngine {
         }
         let mut done = Cycles(now.0 + 5);
         // Scrub every line whose bits escaped the L1 this region
-        // (sorted: HashSet order is nondeterministic and would perturb
-        // NoC contention between otherwise-identical runs).
-        let mut lines: Vec<u64> = self.foreign[core.index()].drain().collect();
+        // (sorted by address: the old HashSet drain was sorted the
+        // same way, and an order change would perturb NoC contention
+        // between otherwise-identical runs).
+        let mut lines: Vec<u64> = self.foreign[core.index()]
+            .take()
+            .into_iter()
+            .map(|id| self.lines.addr(id).0)
+            .collect();
         lines.sort_unstable();
         for l in lines {
             let t = self.backend_scrub(sub, core, LineAddr(l), now);

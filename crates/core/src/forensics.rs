@@ -21,7 +21,9 @@
 use crate::exception::ConflictException;
 use crate::meta::AimOutcome;
 use rce_common::obs::{ForensicsConfig, SimEvent, Tracer};
-use rce_common::{impl_json_struct, impl_json_unit_enum, Histogram, MetaPlacement};
+use rce_common::{
+    impl_json_struct, impl_json_unit_enum, Histogram, LineMap, LineTable, MetaPlacement,
+};
 use std::collections::BTreeMap;
 
 /// Where the opposing access bits lived when the conflict surfaced.
@@ -204,6 +206,13 @@ impl ForensicsReport {
 }
 
 /// The in-run collector the machine drives.
+///
+/// Line heat is on the hot path (charged once per materialized
+/// detection), so it accumulates in a flat [`LineMap`] keyed by
+/// interned line ids rather than an ordered map; `finish` re-sorts by
+/// (count, line), which is a total order over distinct lines, so the
+/// report is unchanged. Pair and region heat stay ordered maps — they
+/// are tiny and off the hot path.
 #[derive(Debug)]
 pub struct Forensics {
     cfg: ForensicsConfig,
@@ -211,7 +220,8 @@ pub struct Forensics {
     delivered: u64,
     truncated: u64,
     records: Vec<ConflictRecord>,
-    line_heat: BTreeMap<u64, u64>,
+    lines: LineTable,
+    line_heat: LineMap<u64>,
     pair_heat: BTreeMap<(u16, u16), u64>,
     region_heat: BTreeMap<u64, u64>,
     region_lifetime: Histogram,
@@ -226,7 +236,8 @@ impl Forensics {
             delivered: 0,
             truncated: 0,
             records: Vec::new(),
-            line_heat: BTreeMap::new(),
+            lines: LineTable::new(),
+            line_heat: LineMap::new(),
             pair_heat: BTreeMap::new(),
             region_heat: BTreeMap::new(),
             region_lifetime: Histogram::new(),
@@ -238,7 +249,8 @@ impl Forensics {
     /// totals match the detector's counter).
     pub fn observe(&mut self, ex: &ConflictException) {
         self.total += 1;
-        *self.line_heat.entry(ex.word_addr.line().0).or_insert(0) += 1;
+        let id = self.lines.intern(ex.word_addr.line());
+        *self.line_heat.slot(id) += 1;
         *self
             .pair_heat
             .entry((ex.a.core.0, ex.b.core.0))
@@ -294,15 +306,29 @@ impl Forensics {
             v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             v.into_iter().map(|(k, n)| build(k, n)).collect()
         }
+        // Flat accumulation stores lines in first-touch order; the
+        // (count desc, line asc) sort is a total order over distinct
+        // lines, so the result matches the old ordered-map path.
+        let mut line_heat: Vec<(u64, u64)> = self
+            .lines
+            .ids()
+            .map(|id| {
+                (
+                    self.lines.addr(id).0,
+                    self.line_heat.get(id).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        line_heat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ForensicsReport {
             total_detections: self.total,
             delivered: self.delivered,
             truncated_records: self.truncated,
             records: self.records,
-            line_heatmap: sorted(self.line_heat, |line, conflicts| LineHeat {
-                line,
-                conflicts,
-            }),
+            line_heatmap: line_heat
+                .into_iter()
+                .map(|(line, conflicts)| LineHeat { line, conflicts })
+                .collect(),
             core_pair_heatmap: sorted(self.pair_heat, |(core_a, core_b), conflicts| PairHeat {
                 core_a,
                 core_b,

@@ -28,11 +28,11 @@ use crate::protocol::Substrate;
 use rce_cache::SetAssoc;
 use rce_common::obs::{EventClass, EventKind, SimEvent};
 use rce_common::{
-    impl_json_struct, AimConfig, CoreId, Counter, Cycles, LineAddr, MachineConfig, MetaPlacement,
+    impl_json_struct, AimConfig, CoreId, Counter, Cycles, LineAddr, LineFlags, LineId, LineMap,
+    LineTable, MachineConfig, MetaPlacement,
 };
 use rce_dram::AccessKind as DramKind;
 use rce_noc::{MsgClass, NodeId};
-use std::collections::HashMap;
 
 /// Bytes of a metadata request/response header on the NoC (the entry
 /// payload itself is charged via `AimConfig::entry_bytes`).
@@ -137,6 +137,92 @@ pub fn backend_for(cfg: &MachineConfig) -> Box<dyn MetaBackend> {
     }
 }
 
+// ---------------------------------------------------------- FlatMetaTable
+
+/// Flat line → [`MetaMap`] store shared by every unbounded table in
+/// this module (CE's DRAM table, the AIM overflow table, the ideal
+/// store).
+///
+/// Lines are interned once into a [`LineTable`] and maps live in a
+/// dense vector, so the per-access path is a hash-free array index
+/// after the first touch of a line. Presence is tracked explicitly
+/// (the old `HashMap` versions distinguished "absent" from "present
+/// but empty" — `ensure_at` creates present-but-empty entries); a
+/// non-present slot always holds an empty map, which is what makes
+/// re-insertion equivalent to the old `entry().or_default()`.
+#[derive(Debug, Clone, Default)]
+struct FlatMetaTable {
+    table: LineTable,
+    maps: LineMap<MetaMap>,
+    present: LineFlags,
+    count: usize,
+}
+
+impl FlatMetaTable {
+    /// Number of present entries.
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    /// The entry for `line`, creating an empty present entry if absent
+    /// (the flat `entry().or_default()`).
+    fn entry(&mut self, line: LineAddr) -> &mut MetaMap {
+        let id = self.table.intern(line);
+        if self.present.insert(id) {
+            self.count += 1;
+        }
+        self.maps.slot(id)
+    }
+
+    /// Remove and return `line`'s entry; `(map, was_present)`.
+    fn take(&mut self, line: LineAddr) -> (MetaMap, bool) {
+        match self.table.lookup(line) {
+            Some(id) if self.present.contains(id) => {
+                self.present.remove(id);
+                self.count -= 1;
+                (std::mem::take(self.maps.slot(id)), true)
+            }
+            _ => (MetaMap::new(), false),
+        }
+    }
+
+    /// Clear `core`'s bits in `line`'s entry, dropping the entry if it
+    /// empties out; `(had_bits, entry_gone)`. Absent lines are a
+    /// no-op.
+    fn clear_core(&mut self, line: LineAddr, core: CoreId) -> (bool, bool) {
+        match self.table.lookup(line) {
+            Some(id) if self.present.contains(id) => {
+                let m = self.maps.slot(id);
+                let had = m.clear_core(core);
+                let gone = m.is_empty();
+                if gone {
+                    self.present.remove(id);
+                    self.count -= 1;
+                }
+                (had, gone)
+            }
+            _ => (false, false),
+        }
+    }
+
+    /// Prune dead bits from every present entry, dropping the ones
+    /// that empty out.
+    fn prune(&mut self, live: impl Fn(CoreId, rce_common::RegionId) -> bool) {
+        for i in 0..self.table.len() as u32 {
+            let id = LineId(i);
+            if !self.present.contains(id) {
+                continue;
+            }
+            let m = self.maps.slot(id);
+            m.prune(&live);
+            if m.is_empty() {
+                self.present.remove(id);
+                self.count -= 1;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------- NoMeta
 
 /// The baseline's placeholder: no metadata exists, so no operation is
@@ -204,7 +290,7 @@ impl MetaBackend for NoMeta {
 /// off-chip round trip — the metadata tax CE+ exists to remove.
 #[derive(Debug, Clone, Default)]
 pub struct DramMeta {
-    table: HashMap<u64, MetaMap>,
+    table: FlatMetaTable,
 }
 
 impl DramMeta {
@@ -221,7 +307,7 @@ impl DramMeta {
 
 impl MetaBackend for DramMeta {
     fn fetch(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
-        let m = self.table.remove(&line.0).unwrap_or_default();
+        let (m, _) = self.table.take(line);
         let bank = sub.bank_node(line);
         let mem = sub.noc.mem_node(line);
         let t1 = sub
@@ -251,7 +337,7 @@ impl MetaBackend for DramMeta {
         let _ = sub
             .dram
             .access(line, sub.cfg.aim.entry_bytes, DramKind::MetaWrite, t1);
-        self.table.entry(line.0).or_default().merge(&meta);
+        self.table.entry(line).merge(&meta);
     }
 
     fn scrub(
@@ -262,14 +348,7 @@ impl MetaBackend for DramMeta {
         line: LineAddr,
         at: Cycles,
     ) -> (Cycles, bool) {
-        let mut gone = false;
-        if let Some(m) = self.table.get_mut(&line.0) {
-            m.clear_core(core);
-            if m.is_empty() {
-                self.table.remove(&line.0);
-                gone = true;
-            }
-        }
+        let (_, gone) = self.table.clear_core(line, core);
         let mem = sub.noc.mem_node(line);
         let t1 = sub
             .noc
@@ -283,7 +362,7 @@ impl MetaBackend for DramMeta {
     fn ensure_at(&mut self, sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
         // The registration must consult the off-chip table: bank ->
         // memory controller -> DRAM -> back.
-        self.table.entry(line.0).or_default();
+        self.table.entry(line);
         let bank = sub.bank_node(line);
         let mem = sub.noc.mem_node(line);
         let t1 = sub
@@ -297,7 +376,7 @@ impl MetaBackend for DramMeta {
     }
 
     fn entry_mut(&mut self, line: LineAddr) -> &mut MetaMap {
-        self.table.entry(line.0).or_default()
+        self.table.entry(line)
     }
 
     fn boundary_clear(
@@ -307,12 +386,7 @@ impl MetaBackend for DramMeta {
         core: CoreId,
         t: Cycles,
     ) -> Cycles {
-        if let Some(m) = self.table.get_mut(&line.0) {
-            m.clear_core(core);
-            if m.is_empty() {
-                self.table.remove(&line.0);
-            }
-        }
+        self.table.clear_core(line, core);
         // The clear is forwarded to the off-chip table.
         let bank = sub.bank_node(line);
         let mem = sub.noc.mem_node(line);
@@ -346,7 +420,7 @@ impl MetaBackend for DramMeta {
 pub struct AimMeta {
     array: SetAssoc<MetaMap>,
     /// DRAM-backed overflow table.
-    backing: HashMap<u64, MetaMap>,
+    backing: FlatMetaTable,
     /// Entry size in bytes when spilled / transferred.
     pub entry_bytes: u64,
     /// Access latency in cycles.
@@ -370,7 +444,7 @@ impl AimMeta {
     pub fn new(cfg: &AimConfig) -> Self {
         AimMeta {
             array: SetAssoc::with_entries(cfg.entries, cfg.ways),
-            backing: HashMap::new(),
+            backing: FlatMetaTable::default(),
             entry_bytes: cfg.entry_bytes,
             latency: cfg.latency,
             accesses: Counter::default(),
@@ -396,17 +470,14 @@ impl AimMeta {
             }
         } else {
             self.misses.inc();
-            let (entry, refilled) = match self.backing.remove(&line.0) {
-                Some(m) => (m, true),
-                None => (MetaMap::new(), false),
-            };
+            let (entry, refilled) = self.backing.take(line);
             if refilled {
                 self.refills.inc();
             }
             let mut spilled = false;
             if let Some((victim, vmeta)) = self.array.insert(line.0, entry) {
                 if !vmeta.is_empty() {
-                    self.backing.insert(victim, vmeta);
+                    *self.backing.entry(LineAddr(victim)) = vmeta;
                     self.spills.inc();
                     spilled = true;
                 }
@@ -437,14 +508,8 @@ impl AimMeta {
             return m.clear_core(core);
         }
         self.misses.inc();
-        if let Some(m) = self.backing.get_mut(&line.0) {
-            let had = m.clear_core(core);
-            if m.is_empty() {
-                self.backing.remove(&line.0);
-            }
-            return had;
-        }
-        false
+        let (had, _) = self.backing.clear_core(line, core);
+        had
     }
 
     /// Drop dead entries everywhere (housekeeping; free of model cost
@@ -454,10 +519,7 @@ impl AimMeta {
         for (_, m) in self.array.iter_mut() {
             m.prune(&live);
         }
-        self.backing.retain(|_, m| {
-            m.prune(&live);
-            !m.is_empty()
-        });
+        self.backing.prune(live);
     }
 
     /// Resident entry count.
@@ -658,7 +720,7 @@ impl MetaBackend for AimMeta {
 /// sensitivity study needs.
 #[derive(Debug, Clone, Default)]
 pub struct IdealMeta {
-    table: HashMap<u64, MetaMap>,
+    table: FlatMetaTable,
 }
 
 impl IdealMeta {
@@ -675,7 +737,7 @@ impl IdealMeta {
 
 impl MetaBackend for IdealMeta {
     fn fetch(&mut self, _sub: &mut Substrate, line: LineAddr, t: Cycles) -> (Cycles, MetaMap) {
-        (t, self.table.remove(&line.0).unwrap_or_default())
+        (t, self.table.take(line).0)
     }
 
     fn push(
@@ -686,7 +748,7 @@ impl MetaBackend for IdealMeta {
         meta: MetaMap,
         _at: Cycles,
     ) {
-        self.table.entry(line.0).or_default().merge(&meta);
+        self.table.entry(line).merge(&meta);
     }
 
     fn scrub(
@@ -697,24 +759,17 @@ impl MetaBackend for IdealMeta {
         line: LineAddr,
         at: Cycles,
     ) -> (Cycles, bool) {
-        let mut gone = false;
-        if let Some(m) = self.table.get_mut(&line.0) {
-            m.clear_core(core);
-            if m.is_empty() {
-                self.table.remove(&line.0);
-                gone = true;
-            }
-        }
+        let (_, gone) = self.table.clear_core(line, core);
         (at, gone)
     }
 
     fn ensure_at(&mut self, _sub: &mut Substrate, line: LineAddr, t: Cycles) -> Cycles {
-        self.table.entry(line.0).or_default();
+        self.table.entry(line);
         t
     }
 
     fn entry_mut(&mut self, line: LineAddr) -> &mut MetaMap {
-        self.table.entry(line.0).or_default()
+        self.table.entry(line)
     }
 
     fn boundary_clear(
@@ -724,12 +779,7 @@ impl MetaBackend for IdealMeta {
         core: CoreId,
         t: Cycles,
     ) -> Cycles {
-        if let Some(m) = self.table.get_mut(&line.0) {
-            m.clear_core(core);
-            if m.is_empty() {
-                self.table.remove(&line.0);
-            }
-        }
+        self.table.clear_core(line, core);
         t
     }
 
@@ -862,6 +912,110 @@ mod tests {
             WordMask::single(WordIdx(2)),
         );
         m
+    }
+
+    /// Property (interned-storage equivalence): an AIM big enough to
+    /// never evict holds exactly the metadata the ideal unbounded
+    /// store does, under any interleaving of the `MetaBackend` ops.
+    /// Timing differs (the AIM charges latency); contents must not.
+    #[test]
+    fn prop_unbounded_aim_equals_ideal() {
+        use rce_common::check::check_n;
+        use rce_common::{prop_assert, prop_assert_eq, Rng, SplitMix64};
+        check_n(
+            "prop_unbounded_aim_equals_ideal",
+            64,
+            |rng: &mut SplitMix64| {
+                let n = 1 + rng.gen_range(120) as usize;
+                (0..n).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+            },
+            |ops| {
+                let mut s = sub();
+                // 1024 entries / 16 distinct lines: no eviction, so no
+                // spill path — the AIM degenerates to an unbounded map.
+                let mut aim = AimMeta::new(&AimConfig {
+                    entries: 1024,
+                    ways: 4,
+                    latency: 4,
+                    entry_bytes: 16,
+                });
+                let mut ideal = IdealMeta::new();
+                let src = s.core_node(CoreId(0));
+                for (step, &raw) in ops.iter().enumerate() {
+                    let line = LineAddr((raw >> 8) % 16);
+                    let core = CoreId(((raw >> 16) % 4) as u16);
+                    let region = RegionId((raw >> 24) % 8);
+                    let at = Cycles(step as u64 * 10);
+                    match raw % 5 {
+                        0 => {
+                            // Displaced-bits push of one core's access.
+                            let mut m = MetaMap::new();
+                            m.record(
+                                core,
+                                region,
+                                if raw & 1 == 0 {
+                                    AccessType::Read
+                                } else {
+                                    AccessType::Write
+                                },
+                                WordMask::single(WordIdx(((raw >> 32) % 8) as u8)),
+                            );
+                            aim.push(&mut s, src, line, m.clone(), at);
+                            ideal.push(&mut s, src, line, m, at);
+                        }
+                        1 => {
+                            let (_, got_a) = aim.fetch(&mut s, line, at);
+                            let (_, got_i) = ideal.fetch(&mut s, line, at);
+                            prop_assert_eq!(got_a, got_i, "fetched bits diverge at op {step}");
+                        }
+                        2 => {
+                            // `gone` flags legitimately differ (the AIM
+                            // keeps scrubbed entries resident; the ideal
+                            // store drops them) — only contents must
+                            // agree, which the fetches below check.
+                            let _ = aim.scrub(&mut s, src, core, line, at);
+                            let _ = ideal.scrub(&mut s, src, core, line, at);
+                        }
+                        3 => {
+                            // ARC-style registration write-through.
+                            aim.ensure_at(&mut s, line, at);
+                            ideal.ensure_at(&mut s, line, at);
+                            aim.entry_mut(line).record(
+                                core,
+                                region,
+                                AccessType::Write,
+                                WordMask::single(WordIdx(0)),
+                            );
+                            ideal.entry_mut(line).record(
+                                core,
+                                region,
+                                AccessType::Write,
+                                WordMask::single(WordIdx(0)),
+                            );
+                        }
+                        _ => {
+                            aim.boundary_clear(&mut s, line, core, at);
+                            ideal.boundary_clear(&mut s, line, core, at);
+                        }
+                    }
+                    if let Some((_, _, _, spills)) = aim.totals() {
+                        prop_assert_eq!(spills, 0, "unbounded AIM must never spill");
+                    }
+                }
+                // Final sweep: every line's surviving metadata matches.
+                for l in 0..16u64 {
+                    let at = Cycles(1_000_000);
+                    let (_, got_a) = aim.fetch(&mut s, LineAddr(l), at);
+                    let (_, got_i) = ideal.fetch(&mut s, LineAddr(l), at);
+                    prop_assert_eq!(got_a, got_i, "line {l} diverges in the final sweep");
+                }
+                prop_assert!(
+                    aim.spilled_entries() == 0,
+                    "nothing may have reached the overflow table"
+                );
+                Ok(())
+            },
+        );
     }
 
     #[test]

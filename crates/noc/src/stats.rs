@@ -176,6 +176,13 @@ mod tests {
             "p99.5={} must surface the straggler",
             s.queue_delay_p(99.5)
         );
+        // The ends of the range are well defined: p=0 lands in the
+        // fast messages' bucket, p=100 covers the straggler, and
+        // out-of-range p clamps to those ends instead of misbehaving.
+        assert!(s.queue_delay_p(0.0) <= 3);
+        assert!(s.queue_delay_p(100.0) >= 2048);
+        assert_eq!(s.queue_delay_p(-1.0), s.queue_delay_p(0.0));
+        assert_eq!(s.queue_delay_p(101.0), s.queue_delay_p(100.0));
         // The histogram stays out of the serialized form.
         let j = rce_common::json::to_string(&s);
         assert!(!j.contains("queue_delay_hist"));

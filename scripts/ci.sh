@@ -120,15 +120,31 @@ if cargo run -q --release --offline -p rce-bench --bin paper -- \
 fi
 echo "ok: self-diff is clean, injected drift exits nonzero"
 
+echo "== hot-path gate (paper bench-hot --smoke) =="
+# Time the flat hot-path storage against std::collections references
+# doing identical work. The binary exits nonzero if the flat raw-access
+# path drops below the pinned speedup floor (MIN_SPEEDUP_X) — a
+# throughput regression fails CI even when reports stay byte-identical.
+if ! cargo run -q --release --offline -p rce-bench --bin paper -- \
+    bench-hot --smoke; then
+    echo "FAIL: hot-path throughput regressed below the pinned speedup floor" >&2
+    exit 1
+fi
+echo "ok: hot-path storage clears its speedup floor"
+
 echo "== perf trajectory gate (paper trajectory + diff) =="
 # Re-run the pinned micro-sweep and compare against the committed
 # baseline. The sweep is deterministic; the tolerance only leaves room
 # for deliberate, reviewed model changes (which must regenerate
-# results/bench_trajectory.json).
+# results/bench_trajectory.json). The hot_path.measured section is wall
+# time — machine-dependent — so it is excluded here; its floor is
+# enforced by the bench-hot gate above and the exactly-diffed
+# hot_path.pinned section.
 cargo run -q --release --offline -p rce-bench --bin paper -- \
     trajectory --out "$obs_out"
 if ! cargo run -q --release --offline -p rce-bench --bin paper -- \
-    diff results/bench_trajectory.json "$obs_out/bench_trajectory.json" --tolerance 2; then
+    diff results/bench_trajectory.json "$obs_out/bench_trajectory.json" \
+    --tolerance 2 --ignore hot_path.measured; then
     echo "FAIL: bench trajectory drifted beyond 2% of the committed baseline" >&2
     echo "      (regenerate results/bench_trajectory.json if the change is intended)" >&2
     exit 1
