@@ -6,7 +6,7 @@
 use rce_bench::Bencher;
 use rce_cache::SetAssoc;
 use rce_common::{Cycles, LineAddr, NocConfig, Rng, SplitMix64};
-use rce_core::{Aim, Oracle};
+use rce_core::{AimMeta, Oracle};
 use rce_dram::{AccessKind, Dram};
 use rce_noc::{MsgClass, Noc, NodeId};
 
@@ -65,7 +65,7 @@ fn main() {
         last
     });
 
-    let mut aim = Aim::new(&Default::default());
+    let mut aim = AimMeta::new(&Default::default());
     let mut rng = SplitMix64::new(2);
     b.case("aim/ensure", Some(OPS), move || {
         for _ in 0..OPS {

@@ -558,10 +558,12 @@ fn run_trajectory(out_dir: &str) {
         "hot_path": json!({
             "pinned": json!({
                 "min_speedup_x": rce_bench::hotpath::MIN_SPEEDUP_X,
+                "min_fastpath_speedup_x": rce_bench::hotpath::MIN_FASTPATH_SPEEDUP_X,
             }),
             "measured": json!({
                 "ns_per_access": m.ns_per_access,
                 "speedup_vs_hashmap": m.speedup_vs_hashmap,
+                "fastpath_speedup_x": m.fastpath_speedup_x,
             }),
         }),
         "rows": rows,
@@ -587,6 +589,15 @@ fn run_bench_hot(smoke: bool) {
              (floor {}x) — the hot path has regressed",
             m.speedup_vs_hashmap,
             rce_bench::hotpath::MIN_SPEEDUP_X
+        );
+        std::process::exit(1);
+    }
+    if m.fastpath_speedup_x < rce_bench::hotpath::MIN_FASTPATH_SPEEDUP_X {
+        eprintln!(
+            "FAIL: the access-filter fast path is only {:.2}x end-to-end on the \
+             repeat-heavy workload (floor {}x) — the fast path has regressed",
+            m.fastpath_speedup_x,
+            rce_bench::hotpath::MIN_FASTPATH_SPEEDUP_X
         );
         std::process::exit(1);
     }

@@ -35,6 +35,11 @@ pub enum RceError {
         steps: u64,
         /// The budget that was exceeded.
         limit: u64,
+        /// Per-core instruction cursors at the moment the limit
+        /// tripped — which op each thread was stuck on.
+        cursors: Vec<u64>,
+        /// Memory operations committed before the limit tripped.
+        mem_ops: u64,
     },
 }
 
@@ -46,9 +51,15 @@ impl std::fmt::Display for RceError {
             RceError::DriverProtocol(m) => write!(f, "driver protocol violation: {m}"),
             RceError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
             RceError::InvariantViolated(m) => write!(f, "invariant violated: {m}"),
-            RceError::StepLimitExceeded { steps, limit } => write!(
+            RceError::StepLimitExceeded {
+                steps,
+                limit,
+                cursors,
+                mem_ops,
+            } => write!(
                 f,
-                "step limit exceeded: {steps} scheduler steps ran against a budget of {limit} (livelock?)"
+                "step limit exceeded: {steps} scheduler steps ran against a budget of {limit} \
+                 (livelock?); {mem_ops} memory ops committed, per-core cursors {cursors:?}"
             ),
         }
     }
@@ -80,9 +91,13 @@ mod tests {
         let step = RceError::StepLimitExceeded {
             steps: 12,
             limit: 10,
+            cursors: vec![3, 9],
+            mem_ops: 7,
         };
         assert!(step.to_string().contains("12"));
         assert!(step.to_string().contains("budget of 10"));
+        assert!(step.to_string().contains("7 memory ops"));
+        assert!(step.to_string().contains("[3, 9]"));
     }
 
     #[test]

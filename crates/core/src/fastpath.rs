@@ -1,0 +1,304 @@
+//! The region-epoch access filter: the fast path for repeat accesses.
+//!
+//! Most accesses in region-structured programs are *repeats*: the same
+//! core touching words it already touched, in the same region, on a
+//! line still resident in its L1. For such an access nothing can
+//! change — the protocol state transition is a no-op, the metadata
+//! bits are already recorded, and the detection outcome is already
+//! known to be "no conflict" (conflicting accesses never arm the
+//! filter, so they always re-run the slow path and re-materialize
+//! their detections). The engines can therefore short-circuit the
+//! whole access after the L1 lookup, replaying only the deterministic
+//! L1-hit latency charge; the machine skips the oracle's per-word
+//! observation for the same reason. Reports stay byte-identical — the
+//! golden gate and the `fastpath_equiv` property tests pin this.
+//!
+//! [`AccessFilter`] is a per-core direct-mapped cache of
+//! `(line, region, covered-read-mask, covered-write-mask)`:
+//!
+//! - **Hit** iff the slot holds the same line, tagged with the core's
+//!   *current* region, and the access's raw word mask is a subset of
+//!   the covered mask *of the same kind*. Raw-mask coverage implies
+//!   detection-mask coverage at any granularity (at `Word` they are
+//!   equal; at `Line` both widen to the full line), and for ARC it
+//!   additionally guarantees the per-word dirty bits are already set.
+//!   Cross-kind coverage is deliberately not honored: a first read of
+//!   written words (or vice versa) can change recorded metadata and
+//!   must take the slow path.
+//! - **Arm** after a slow-path access that raised no exception: the
+//!   covered mask of that kind grows by the access's raw mask. A
+//!   region or line mismatch resets the slot first. Accesses that
+//!   found conflicts never arm, so repeat conflicting accesses keep
+//!   re-running detection (the forensics heatmap counts those
+//!   re-materializations).
+//! - **Invalidated** explicitly on every event that could change a
+//!   repeat's outcome: L1 eviction of the line, any remote coherence
+//!   transition touching the core's copy (invalidation, downgrade,
+//!   ARC recall). Region boundaries need no hook — region IDs are
+//!   globally unique ([`crate::protocol::Substrate`] never reuses
+//!   one), so the region tag doubles as an epoch and a stale slot
+//!   simply mismatches.
+//!
+//! The filter defaults on; `RCE_DISABLE_FASTPATH=1` in the environment
+//! (read at engine construction) or
+//! [`crate::protocol::Engine::set_fastpath`] turns it off, which CI
+//! uses to prove the slow path stays correct.
+
+use crate::exception::AccessType;
+use rce_common::{CoreId, LineAddr, RegionId, WordMask};
+
+/// Slots per core. Direct-mapped on the low line-index bits; 512 slots
+/// comfortably cover an 8 KiB / 128-line L1 with room for aliasing
+/// slack, at 16 KiB of filter state per core.
+const SLOTS: usize = 512;
+
+/// Tag meaning "this slot is empty".
+const NO_LINE: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Line index tag ([`LineAddr`]'s raw value), or [`NO_LINE`].
+    line: u64,
+    /// Region the covered masks were recorded in. Region IDs are
+    /// globally unique, so this is also the epoch check.
+    region: RegionId,
+    /// Words this core has read on the line this region, conflict-free.
+    read: WordMask,
+    /// Words this core has written on the line this region,
+    /// conflict-free.
+    write: WordMask,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    line: NO_LINE,
+    region: RegionId(0),
+    read: WordMask::EMPTY,
+    write: WordMask::EMPTY,
+};
+
+/// Per-core, region-epoch-versioned filter over repeat accesses.
+#[derive(Debug, Clone)]
+pub struct AccessFilter {
+    enabled: bool,
+    /// `cores * SLOTS` slots, direct-mapped per core.
+    slots: Vec<Slot>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl AccessFilter {
+    /// Build for `cores` cores. The filter starts enabled unless
+    /// `RCE_DISABLE_FASTPATH` is set in the environment.
+    pub fn new(cores: usize) -> Self {
+        Self::with_enabled(cores, std::env::var_os("RCE_DISABLE_FASTPATH").is_none())
+    }
+
+    /// Build with an explicit on/off state (tests and benchmarks).
+    pub fn with_enabled(cores: usize, enabled: bool) -> Self {
+        AccessFilter {
+            enabled,
+            slots: vec![EMPTY_SLOT; cores * SLOTS],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Is the fast path on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn the fast path on or off. Turning it off (or back on)
+    /// clears every slot, so stale coverage can never be consulted.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.slots.fill(EMPTY_SLOT);
+    }
+
+    #[inline]
+    fn index(&self, core: CoreId, line: LineAddr) -> usize {
+        core.index() * SLOTS + (line.0 as usize & (SLOTS - 1))
+    }
+
+    /// Can this access short-circuit? True iff the slot covers the
+    /// access's raw mask for its kind in the core's current region.
+    #[inline]
+    pub fn hit(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        region: RegionId,
+        kind: AccessType,
+        mask: WordMask,
+    ) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.lookups += 1;
+        let s = &self.slots[self.index(core, line)];
+        let covered = match kind {
+            AccessType::Read => s.read,
+            AccessType::Write => s.write,
+        };
+        let hit = s.line == line.0 && s.region == region && mask.minus(covered).is_empty();
+        self.hits += u64::from(hit);
+        hit
+    }
+
+    /// A slow-path access completed with no exception: extend the
+    /// covered mask for its kind. A line or region mismatch replaces
+    /// the slot.
+    #[inline]
+    pub fn arm(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        region: RegionId,
+        kind: AccessType,
+        mask: WordMask,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let i = self.index(core, line);
+        let s = &mut self.slots[i];
+        if s.line != line.0 || s.region != region {
+            *s = Slot {
+                line: line.0,
+                region,
+                read: WordMask::EMPTY,
+                write: WordMask::EMPTY,
+            };
+        }
+        match kind {
+            AccessType::Read => s.read = s.read.union(mask),
+            AccessType::Write => s.write = s.write.union(mask),
+        }
+    }
+
+    /// Drop any coverage `core` holds for `line` — called on eviction
+    /// and on every remote transition touching the core's copy.
+    #[inline]
+    pub fn invalidate(&mut self, core: CoreId, line: LineAddr) {
+        if !self.enabled {
+            return;
+        }
+        let i = self.index(core, line);
+        if self.slots[i].line == line.0 {
+            self.slots[i] = EMPTY_SLOT;
+        }
+    }
+
+    /// Filter probes so far (diagnostics and benchmarks; never
+    /// reported — reports must stay byte-identical either way).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Filter hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hit rate in [0, 1] (0 when nothing was probed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rce_common::{Addr, WordIdx};
+
+    const R: AccessType = AccessType::Read;
+    const W: AccessType = AccessType::Write;
+
+    fn mask(words: &[u8]) -> WordMask {
+        let mut m = WordMask::EMPTY;
+        for &w in words {
+            m = m.union(WordMask::single(WordIdx(w)));
+        }
+        m
+    }
+
+    fn filter() -> AccessFilter {
+        AccessFilter::with_enabled(2, true)
+    }
+
+    #[test]
+    fn arm_then_hit_same_kind_and_subset() {
+        let mut f = filter();
+        let line = Addr(0x1000).line();
+        let r1 = RegionId(7);
+        f.arm(CoreId(0), line, r1, W, mask(&[0, 1]));
+        assert!(f.hit(CoreId(0), line, r1, W, mask(&[0])));
+        assert!(f.hit(CoreId(0), line, r1, W, mask(&[0, 1])));
+        assert!(!f.hit(CoreId(0), line, r1, W, mask(&[2])), "not covered");
+        assert!(!f.hit(CoreId(0), line, r1, R, mask(&[0])), "cross-kind");
+        assert!(
+            !f.hit(CoreId(1), line, r1, W, mask(&[0])),
+            "filters are per-core"
+        );
+    }
+
+    #[test]
+    fn region_mismatch_misses_and_rearms() {
+        let mut f = filter();
+        let line = Addr(0x40).line();
+        f.arm(CoreId(0), line, RegionId(1), R, mask(&[3]));
+        assert!(f.hit(CoreId(0), line, RegionId(1), R, mask(&[3])));
+        // The region ended: the same slot no longer applies.
+        assert!(!f.hit(CoreId(0), line, RegionId(2), R, mask(&[3])));
+        // Arming in the new region resets coverage entirely.
+        f.arm(CoreId(0), line, RegionId(2), W, mask(&[5]));
+        assert!(!f.hit(CoreId(0), line, RegionId(2), R, mask(&[3])));
+        assert!(f.hit(CoreId(0), line, RegionId(2), W, mask(&[5])));
+    }
+
+    #[test]
+    fn invalidate_drops_coverage() {
+        let mut f = filter();
+        let line = Addr(0x80).line();
+        f.arm(CoreId(1), line, RegionId(3), W, mask(&[0]));
+        assert!(f.hit(CoreId(1), line, RegionId(3), W, mask(&[0])));
+        f.invalidate(CoreId(1), line);
+        assert!(!f.hit(CoreId(1), line, RegionId(3), W, mask(&[0])));
+        // Invalidating an unrelated line leaves other slots alone.
+        f.arm(CoreId(1), line, RegionId(3), W, mask(&[0]));
+        f.invalidate(CoreId(1), Addr(0x5000).line());
+        assert!(f.hit(CoreId(1), line, RegionId(3), W, mask(&[0])));
+    }
+
+    #[test]
+    fn aliasing_lines_evict_each_other() {
+        let mut f = filter();
+        // Two lines SLOTS apart map to the same slot.
+        let a = LineAddr(10);
+        let b = LineAddr(10 + SLOTS as u64);
+        f.arm(CoreId(0), a, RegionId(1), R, mask(&[0]));
+        f.arm(CoreId(0), b, RegionId(1), R, mask(&[0]));
+        assert!(!f.hit(CoreId(0), a, RegionId(1), R, mask(&[0])));
+        assert!(f.hit(CoreId(0), b, RegionId(1), R, mask(&[0])));
+    }
+
+    #[test]
+    fn disabled_filter_never_hits_or_arms() {
+        let mut f = AccessFilter::with_enabled(1, false);
+        let line = Addr(0).line();
+        f.arm(CoreId(0), line, RegionId(1), W, mask(&[0]));
+        assert!(!f.hit(CoreId(0), line, RegionId(1), W, mask(&[0])));
+        assert_eq!(f.lookups(), 0, "disabled probes are free");
+        // Flipping enabled clears state armed... nothing; and arming
+        // works again.
+        f.set_enabled(true);
+        assert!(!f.hit(CoreId(0), line, RegionId(1), W, mask(&[0])));
+        f.arm(CoreId(0), line, RegionId(1), W, mask(&[0]));
+        assert!(f.hit(CoreId(0), line, RegionId(1), W, mask(&[0])));
+        assert!(f.hit_rate() > 0.0);
+    }
+}

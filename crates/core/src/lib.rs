@@ -37,18 +37,21 @@ pub mod access;
 pub mod detect;
 pub mod engines;
 pub mod exception;
+pub mod fastpath;
 pub mod forensics;
 pub mod machine;
 pub mod meta;
 pub mod oracle;
 pub mod protocol;
 pub mod report;
+pub mod sched;
 pub mod sync;
 
 pub use access::{ConflictCheck, MetaMap};
 pub use detect::Detector;
 pub use engines::{find_variant, ArcEngine, EngineVariant, MesiFamilyEngine, REGISTRY};
 pub use exception::{AccessType, ConflictException, ExceptionPolicy};
+pub use fastpath::AccessFilter;
 pub use forensics::{
     ConflictRecord, DetectPath, DetectSite, Forensics, ForensicsReport, LineHeat, PairHeat,
     RegionHeat,
@@ -58,6 +61,7 @@ pub use meta::{backend_for, AimMeta, AimOutcome, DramMeta, IdealMeta, MetaBacken
 pub use oracle::Oracle;
 pub use protocol::{AccessResult, Engine, Substrate};
 pub use report::SimReport;
+pub use sched::ReadyQueue;
 
 /// Build the engine selected by a configuration.
 pub fn engine_for(cfg: &rce_common::MachineConfig) -> Box<dyn Engine> {

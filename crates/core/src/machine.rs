@@ -15,23 +15,53 @@ use crate::forensics::Forensics;
 use crate::oracle::Oracle;
 use crate::protocol::{Engine, Substrate};
 use crate::report::{AimSummary, SimReport};
+use crate::sched::ReadyQueue;
 use crate::sync::{AcquireOutcome, BarrierManager, BarrierOutcome, LockManager};
 use rce_common::obs::{
     shared_tracer, EventClass, EventKind, GaugeSnapshot, MetricsSampler, ObsConfig, SimEvent,
     TraceConfig, Tracer,
 };
-use rce_common::{CoreId, Cycles, MachineConfig, RceError, RceResult, WordMask};
+use rce_common::{BarrierId, CoreId, Cycles, LockId, MachineConfig, RceError, RceResult, WordMask};
 use rce_energy::{EnergyModel, EventCounts};
 use rce_trace::{Op, Program};
 use std::collections::HashSet;
+use std::fmt::Write as _;
 
-/// Per-core execution status.
+/// Per-core execution status. Blocked states carry the object the core
+/// is waiting on, so a deadlock report can name it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
     Ready,
-    BlockedLock,
-    BlockedBarrier,
+    BlockedLock(LockId),
+    BlockedBarrier(BarrierId),
     Done,
+}
+
+/// Describe a deadlock: every live core, what it waits on, and who is
+/// in the way. The prefix is stable (tests and callers match on it);
+/// the per-core detail follows.
+fn deadlock_error(status: &[Status], locks: &LockManager, barriers: &BarrierManager) -> RceError {
+    let mut msg = String::from("all live cores are blocked (deadlock)");
+    for (i, s) in status.iter().enumerate() {
+        match s {
+            Status::BlockedLock(l) => {
+                let _ = match locks.holder(*l) {
+                    Some(h) => write!(msg, "; c{i} waits on {l} held by {h}"),
+                    None => write!(msg, "; c{i} waits on {l} (unheld)"),
+                };
+            }
+            Status::BlockedBarrier(b) => {
+                let _ = write!(
+                    msg,
+                    "; c{i} waits at {b} ({} of {} cores arrived)",
+                    barriers.waiting(*b),
+                    status.len()
+                );
+            }
+            Status::Ready | Status::Done => {}
+        }
+    }
+    RceError::DriverProtocol(msg)
 }
 
 /// Scheduler steps allowed per program operation before the driver
@@ -62,6 +92,10 @@ pub struct Machine {
     energy_model: EnergyModel,
     step_limit: Option<u64>,
     obs: ObsConfig,
+    /// Explicit fast-path override for the engine's access filter
+    /// (`None` = engine default: on unless `RCE_DISABLE_FASTPATH` is
+    /// set). Reports are byte-identical either way.
+    fastpath: Option<bool>,
 }
 
 /// Read every cumulative gauge the interval sampler differences.
@@ -99,7 +133,17 @@ impl Machine {
             energy_model: EnergyModel::default(),
             step_limit: None,
             obs: ObsConfig::default(),
+            fastpath: None,
         })
+    }
+
+    /// Force the engine's fast-path access filter on or off for
+    /// subsequent runs, overriding the `RCE_DISABLE_FASTPATH`
+    /// environment default. The equivalence property tests run every
+    /// workload both ways and require byte-identical reports.
+    pub fn with_fastpath(mut self, on: bool) -> Self {
+        self.fastpath = Some(on);
+        self
     }
 
     /// Enable observability (event tracing and/or interval metrics)
@@ -145,6 +189,9 @@ impl Machine {
         }
 
         let mut engine = crate::engine_for(&self.cfg);
+        if let Some(on) = self.fastpath {
+            engine.set_fastpath(on);
+        }
         let mut sub = Substrate::new(&self.cfg);
         let mut oracle = Oracle::new(&sub.regions);
         let mut locks = LockManager::new(program.n_locks);
@@ -154,6 +201,14 @@ impl Machine {
         let mut cursor = vec![0usize; n];
         let mut clock = vec![Cycles::ZERO; n];
         let mut status = vec![Status::Ready; n];
+        // Index-min scheduler: every Ready core has exactly one queued
+        // entry carrying its current clock. Pop order — smallest clock,
+        // lowest core ID on ties — matches the old linear scan exactly
+        // (pinned by `sched::tests` and the golden gate) in O(log n).
+        let mut ready = ReadyQueue::with_capacity(n);
+        for c in 0..n {
+            ready.push(Cycles::ZERO, c);
+        }
 
         let mut mem_ops = 0u64;
         let mut sync_ops = 0u64;
@@ -260,23 +315,23 @@ impl Machine {
         'run: loop {
             steps += 1;
             if steps > limit {
-                return Err(RceError::StepLimitExceeded { steps, limit });
+                return Err(RceError::StepLimitExceeded {
+                    steps,
+                    limit,
+                    cursors: cursor.iter().map(|&c| c as u64).collect(),
+                    mem_ops,
+                });
             }
-            // Pick the runnable core with the smallest clock.
-            let mut pick: Option<usize> = None;
-            for c in 0..n {
-                if status[c] == Status::Ready && pick.is_none_or(|p| clock[c] < clock[p]) {
-                    pick = Some(c);
-                }
-            }
-            let Some(c) = pick else {
+            // Pop the runnable core with the smallest clock (lowest ID
+            // on ties).
+            let Some((popped_clock, c)) = ready.pop() else {
                 if status.iter().all(|s| *s == Status::Done) {
                     break 'run;
                 }
-                return Err(RceError::DriverProtocol(
-                    "all live cores are blocked (deadlock)".into(),
-                ));
+                return Err(deadlock_error(&status, &locks, &barriers));
             };
+            debug_assert_eq!(status[c], Status::Ready);
+            debug_assert_eq!(popped_clock, clock[c], "queued entry went stale");
             let core = CoreId(c as u16);
             let now = clock[c];
 
@@ -337,9 +392,15 @@ impl Machine {
                     });
                     // Oracle sees the same committed access, word by
                     // word, at the configured detection granularity.
+                    // A fast-path access repeats words this core+kind
+                    // already observed this region, so every observe
+                    // would take the oracle's own early-return; skip
+                    // the loop entirely.
                     let line = addr.line();
-                    for w in dmask.iter() {
-                        let _ = oracle.observe(core, line.word_addr(w), kind, now);
+                    if !res.fast {
+                        for w in dmask.iter() {
+                            let _ = oracle.observe(core, line.word_addr(w), kind, now);
+                        }
                     }
                     for (i, ex) in res.exceptions.into_iter().enumerate() {
                         if let Some(f) = &mut forensics {
@@ -411,7 +472,7 @@ impl Machine {
                         AcquireOutcome::Granted(t) => clock[c] = t,
                         AcquireOutcome::Blocked => {
                             clock[c] = done;
-                            status[c] = Status::BlockedLock;
+                            status[c] = Status::BlockedLock(lock);
                         }
                     }
                 }
@@ -433,9 +494,10 @@ impl Machine {
                     )?;
                     if let Some((next, t)) = locks.release(lock, core, done) {
                         let ni = next.index();
-                        debug_assert_eq!(status[ni], Status::BlockedLock);
+                        debug_assert_eq!(status[ni], Status::BlockedLock(lock));
                         status[ni] = Status::Ready;
                         clock[ni] = clock[ni].max(t);
+                        ready.push(clock[ni], ni);
                     }
                     clock[c] = done;
                 }
@@ -457,16 +519,28 @@ impl Machine {
                     )?;
                     clock[c] = done;
                     match barriers.arrive(bar, core, done) {
-                        BarrierOutcome::Blocked => status[c] = Status::BlockedBarrier,
+                        BarrierOutcome::Blocked => status[c] = Status::BlockedBarrier(bar),
                         BarrierOutcome::Released(cores, t) => {
                             for rc in cores {
                                 let ri = rc.index();
                                 status[ri] = Status::Ready;
                                 clock[ri] = clock[ri].max(t);
+                                // The arriving core is re-queued by the
+                                // generic end-of-step push below.
+                                if ri != c {
+                                    ready.push(clock[ri], ri);
+                                }
                             }
                         }
                     }
                 }
+            }
+
+            // Re-queue the stepped core at its new clock unless it
+            // blocked (or finished, which `continue`s above). Blocked
+            // cores are pushed by whoever wakes them.
+            if status[c] == Status::Ready {
+                ready.push(clock[c], c);
             }
         }
 
@@ -669,21 +743,35 @@ mod tests {
         let cfg = MachineConfig::paper_default(2, ProtocolKind::Ce);
 
         // With the default budget the scheduler reaches the blocked
-        // state and reports the deadlock itself.
+        // state and reports the deadlock itself, naming each waiting
+        // core, the lock it wants, and the holder.
         let err = Machine::new(&cfg).unwrap().run(&abba).unwrap_err();
         assert!(matches!(err, RceError::DriverProtocol(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("c0 waits on lk1 held by c1"), "{msg}");
+        assert!(msg.contains("c1 waits on lk0 held by c0"), "{msg}");
 
         // A tiny explicit budget trips the structured step limit
-        // before the deadlock is even reached.
+        // before the deadlock is even reached, carrying enough state
+        // to see where each core was stuck.
         let err = Machine::new(&cfg)
             .unwrap()
             .with_step_limit(2)
             .run(&abba)
             .unwrap_err();
         match err {
-            RceError::StepLimitExceeded { steps, limit } => {
+            RceError::StepLimitExceeded {
+                steps,
+                limit,
+                cursors,
+                mem_ops,
+            } => {
                 assert_eq!(limit, 2);
                 assert!(steps > limit);
+                assert_eq!(cursors.len(), 2);
+                assert!(cursors.iter().all(|&cu| cu <= 5));
+                assert_eq!(mem_ops, 0, "abba issues no memory ops");
             }
             other => panic!("expected StepLimitExceeded, got {other}"),
         }

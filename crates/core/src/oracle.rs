@@ -8,23 +8,55 @@
 //! must detect exactly the oracle's conflict set on the same schedule;
 //! the differential tests enforce this.
 //!
-//! The oracle is infrastructure, not architecture: it uses unbounded
-//! maps and charges no time.
+//! The oracle is infrastructure, not architecture: it charges no time.
+//! Its storage, however, sits on the machine's hot loop (one observe
+//! per committed word), so it uses the same interned flat tables as
+//! the engines ([`LineTable`]/[`LineMap`]) with **epoch versioning**:
+//! each core's read/write "sets" are dense per-word epoch stamps, a
+//! word is live iff its stamp equals the core's current epoch, and a
+//! region boundary is a single epoch bump — O(1), not O(words
+//! touched), and never O(table). A second fast path falls out of the
+//! same structure: if the observing core's own bit is already live,
+//! every conflict identity this access could discover was already
+//! inserted when the later of the two overlapping bits was set, so
+//! the opponent scan is skipped entirely.
 
 use crate::exception::{AccessType, ConflictException, ConflictSide};
-use rce_common::{Addr, CoreId, Cycles, RegionId};
+use rce_common::{Addr, CoreId, Cycles, LineMap, LineTable, RegionId};
 use std::collections::{HashMap, HashSet};
 
-#[derive(Debug, Default, Clone)]
+/// One core's live word sets, epoch-versioned. A word id is in the
+/// read (written) set iff its stamp equals `epoch`; stamps start at 0
+/// and `epoch` starts at 1, so a fresh slot is never live.
+#[derive(Debug, Clone)]
 struct CoreSets {
     region: RegionId,
-    read: HashSet<u64>,
-    written: HashSet<u64>,
+    epoch: u64,
+    read: LineMap<u64>,
+    written: LineMap<u64>,
+    read_live: usize,
+    written_live: usize,
+}
+
+impl CoreSets {
+    fn new(region: RegionId) -> Self {
+        CoreSets {
+            region,
+            epoch: 1,
+            read: LineMap::new(),
+            written: LineMap::new(),
+            read_live: 0,
+            written_live: 0,
+        }
+    }
 }
 
 /// The shadow detector.
 #[derive(Debug, Clone)]
 pub struct Oracle {
+    /// Interner over word-aligned addresses (not lines — the oracle
+    /// tracks words; the table is just a dense id allocator).
+    words: LineTable,
     cores: Vec<CoreSets>,
     conflicts: HashSet<ConflictException>,
 }
@@ -33,13 +65,8 @@ impl Oracle {
     /// Build for `n` cores with their initial region IDs.
     pub fn new(initial_regions: &[RegionId]) -> Self {
         Oracle {
-            cores: initial_regions
-                .iter()
-                .map(|r| CoreSets {
-                    region: *r,
-                    ..Default::default()
-                })
-                .collect(),
+            words: LineTable::new(),
+            cores: initial_regions.iter().map(|r| CoreSets::new(*r)).collect(),
             conflicts: HashSet::new(),
         }
     }
@@ -54,6 +81,24 @@ impl Oracle {
         now: Cycles,
     ) -> Vec<ConflictException> {
         debug_assert_eq!(word_addr.0 % 8, 0, "oracle expects word-aligned addresses");
+        let id = self.words.intern(rce_common::LineAddr(word_addr.0));
+
+        // Fast path: this core already holds the same-kind bit live in
+        // the current epoch. Every identity a repeat could discover
+        // pairs this bit with a live opponent bit, and that identity
+        // was inserted when the later of the two bits was first set —
+        // so there is nothing new to find and nothing to record.
+        {
+            let me = &self.cores[core.index()];
+            let stamp = match kind {
+                AccessType::Read => me.read.get(id),
+                AccessType::Write => me.written.get(id),
+            };
+            if stamp == Some(&me.epoch) {
+                return Vec::new();
+            }
+        }
+
         let mut found = Vec::new();
         let me = ConflictSide {
             core,
@@ -69,10 +114,10 @@ impl Oracle {
             // (see `MetaMap::check` for why both identities are
             // emitted when the opponent both read and wrote).
             let mut other_kinds = Vec::new();
-            if other.written.contains(&word_addr.0) {
+            if other.written.get(id) == Some(&other.epoch) {
                 other_kinds.push(AccessType::Write);
             }
-            if kind == AccessType::Write && other.read.contains(&word_addr.0) {
+            if kind == AccessType::Write && other.read.get(id) == Some(&other.epoch) {
                 other_kinds.push(AccessType::Read);
             }
             for ok in other_kinds {
@@ -92,24 +137,28 @@ impl Oracle {
             }
         }
         let sets = &mut self.cores[core.index()];
+        let epoch = sets.epoch;
         match kind {
             AccessType::Read => {
-                sets.read.insert(word_addr.0);
+                *sets.read.slot(id) = epoch;
+                sets.read_live += 1;
             }
             AccessType::Write => {
-                sets.written.insert(word_addr.0);
+                *sets.written.slot(id) = epoch;
+                sets.written_live += 1;
             }
         }
         found
     }
 
-    /// The core's region ended; its sets clear and the new region
-    /// begins.
+    /// The core's region ended; its sets clear (one epoch bump) and
+    /// the new region begins.
     pub fn region_boundary(&mut self, core: CoreId, new_region: RegionId) {
         let sets = &mut self.cores[core.index()];
         sets.region = new_region;
-        sets.read.clear();
-        sets.written.clear();
+        sets.epoch += 1;
+        sets.read_live = 0;
+        sets.written_live = 0;
     }
 
     /// All conflicts observed so far, sorted for deterministic
@@ -135,7 +184,7 @@ impl Oracle {
         self.cores
             .iter()
             .enumerate()
-            .map(|(i, s)| (CoreId(i as u16), (s.read.len(), s.written.len())))
+            .map(|(i, s)| (CoreId(i as u16), (s.read_live, s.written_live)))
             .collect()
     }
 }
@@ -233,5 +282,36 @@ mod tests {
         let c = o.observe(CoreId(1), Addr(8), R, Cycles(2));
         assert_eq!(c.len(), 1);
         assert!(c[0].involves_write());
+    }
+
+    #[test]
+    fn epoch_reuse_after_boundary_is_fresh() {
+        // A word touched in an old region must read as dead after the
+        // boundary even though its slot still holds the old stamp, and
+        // re-touching it must make it live again (and repopulate the
+        // live-set sizes).
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), W, Cycles(0));
+        o.observe(CoreId(0), Addr(16), R, Cycles(1));
+        assert_eq!(o.live_set_sizes()[&CoreId(0)], (1, 1));
+        o.region_boundary(CoreId(0), RegionId(100));
+        assert_eq!(o.live_set_sizes()[&CoreId(0)], (0, 0));
+        o.observe(CoreId(0), Addr(8), W, Cycles(2));
+        assert_eq!(o.live_set_sizes()[&CoreId(0)], (0, 1));
+        // The new-region write is live: a remote write now conflicts.
+        assert_eq!(o.observe(CoreId(1), Addr(8), W, Cycles(3)).len(), 1);
+    }
+
+    #[test]
+    fn repeat_observe_is_a_fast_path_noop() {
+        // The same core re-observing a live same-kind bit must change
+        // nothing — not the conflict set, not the live sizes.
+        let mut o = oracle(2);
+        o.observe(CoreId(0), Addr(8), W, Cycles(0));
+        for t in 1..5 {
+            assert!(o.observe(CoreId(0), Addr(8), W, Cycles(t)).is_empty());
+        }
+        assert_eq!(o.live_set_sizes()[&CoreId(0)], (0, 1));
+        assert_eq!(o.count(), 0);
     }
 }

@@ -72,6 +72,30 @@ for engine in MESI CE CE+ ARC; do
     echo "ok: $engine report is byte-identical to its golden"
 done
 
+echo "== fast-path-disabled goldens (RCE_DISABLE_FASTPATH=1) =="
+# The access-filter fast path is a pure acceleration: with the filter
+# forced off, the same four configurations must still match the same
+# goldens byte for byte, and the forensics pipeline must still attach
+# provenance. This is the knob the equivalence property tests exercise
+# in-process; here it is checked through the real env-var switch.
+for engine in MESI CE CE+ ARC; do
+    slug=$(printf '%s' "$engine" | sed 's/+/plus/' | tr '[:upper:]' '[:lower:]')
+    if ! RCE_DISABLE_FASTPATH=1 cargo run -q --release --offline -p rce-bench --bin paper -- \
+        report canneal "$engine" --cores 4 --scale 3 --seed 42 |
+        diff -q - "tests/goldens/canneal-4c-$slug.json" >/dev/null; then
+        echo "FAIL: $engine report drifted with the fast path disabled" >&2
+        exit 1
+    fi
+    echo "ok: $engine report is byte-identical with the fast path disabled"
+done
+out=$(RCE_DISABLE_FASTPATH=1 cargo run -q --release --offline -p rce-bench --bin paper -- \
+    explain racy_pair CE+ --cores 4 --scale 1 --seed 42)
+if ! printf '%s' "$out" | grep -q "found via:"; then
+    echo "FAIL: paper explain printed no provenance record with the fast path disabled" >&2
+    exit 1
+fi
+echo "ok: forensics smoke passes with the fast path disabled"
+
 echo "== ablation smoke (paper ablate-aim) =="
 # The AIM sensitivity study must run end to end and write R-A7.json
 # with both AIM-backed designs in it.
@@ -122,9 +146,11 @@ echo "ok: self-diff is clean, injected drift exits nonzero"
 
 echo "== hot-path gate (paper bench-hot --smoke) =="
 # Time the flat hot-path storage against std::collections references
-# doing identical work. The binary exits nonzero if the flat raw-access
-# path drops below the pinned speedup floor (MIN_SPEEDUP_X) — a
-# throughput regression fails CI even when reports stay byte-identical.
+# doing identical work, plus the access-filter fast path end to end.
+# The binary exits nonzero if the flat raw-access path drops below its
+# pinned speedup floor (MIN_SPEEDUP_X) or the fast path drops below
+# MIN_FASTPATH_SPEEDUP_X — a throughput regression fails CI even when
+# reports stay byte-identical.
 if ! cargo run -q --release --offline -p rce-bench --bin paper -- \
     bench-hot --smoke; then
     echo "FAIL: hot-path throughput regressed below the pinned speedup floor" >&2

@@ -1,0 +1,126 @@
+//! Fast-path equivalence gate: the access filter, the oracle's
+//! epoch-stamped early return, and the machine's oracle skip are pure
+//! accelerations — with the filter on or off, every engine must emit
+//! a byte-identical `SimReport` on every program.
+//!
+//! This is the property the golden files check for four pinned
+//! configurations; here it is checked for the full `REGISTRY`
+//! (including the cross-compositions), for racy microbenchmarks, and
+//! for random programs.
+
+use rce::prelude::*;
+use rce_common::check::check_n;
+use rce_common::{Rng as RceRng, SplitMix64};
+use rce_core::REGISTRY;
+use rce_trace::Builder;
+
+/// Render the report of one run with the fast path forced on or off.
+fn render(cfg: &MachineConfig, program: &Program, fastpath: bool) -> String {
+    let report = Machine::new(cfg)
+        .unwrap()
+        .with_fastpath(fastpath)
+        .run(program)
+        .unwrap();
+    rce_common::json::to_string_pretty(&report)
+}
+
+fn assert_equivalent(cfg: &MachineConfig, program: &Program, label: &str) {
+    let on = render(cfg, program, true);
+    let off = render(cfg, program, false);
+    assert!(
+        on == off,
+        "{label}: SimReport differs between fast path on and off"
+    );
+}
+
+/// Every registry variant, on workloads chosen to stress the filter:
+/// repeat private accesses (high hit rate), lock-protected ping-pong
+/// (remote invalidations), genuine races (conflicting repeats must
+/// re-detect), and false sharing (word-disjoint line contention).
+#[test]
+fn registry_variants_match_with_fastpath_off() {
+    let workloads = [
+        WorkloadSpec::RacyPair,
+        WorkloadSpec::PingPong,
+        WorkloadSpec::FalseSharing,
+        WorkloadSpec::Canneal,
+    ];
+    for v in &REGISTRY {
+        let cfg = v.config(4);
+        for w in workloads {
+            let program = w.build(4, 1, 42);
+            assert_equivalent(&cfg, &program, &format!("{} on {w:?}", v.cli_name));
+        }
+    }
+}
+
+/// Random racy programs: arbitrary interleavings of reads, writes, and
+/// lock-protected writes over a small shared arena, for every paper
+/// protocol.
+#[test]
+fn random_programs_match_with_fastpath_off() {
+    check_n(
+        "random_programs_match_with_fastpath_off",
+        24,
+        |rng: &mut SplitMix64| {
+            (
+                rng.next_u64(),
+                2 + rng.gen_range(3) as usize,
+                8 + rng.gen_range(24) as usize,
+            )
+        },
+        |&(seed, threads, ops)| {
+            let mut rng = SplitMix64::new(seed);
+            let mut b = Builder::new("fastpath-equiv", threads);
+            let arena = b.shared(8 * 64);
+            let bar = b.barrier();
+            for t in 0..threads {
+                for _ in 0..ops {
+                    let w = arena.word(rng.gen_range(arena.words()));
+                    match rng.gen_range(6) {
+                        0 | 1 => b.read(t, w),
+                        2 | 3 => b.write(t, w),
+                        4 => {
+                            // Repeat pair: the second access is the
+                            // fast path's bread and butter.
+                            b.write(t, w);
+                            b.read(t, w);
+                        }
+                        _ => {
+                            let l = b.lock();
+                            b.acquire(t, l);
+                            b.write(t, w);
+                            b.release(t, l);
+                        }
+                    }
+                }
+            }
+            b.barrier_all(bar);
+            let program = b.finish();
+            for proto in ProtocolKind::ALL {
+                let cfg = MachineConfig::paper_default(threads, proto);
+                let on = render(&cfg, &program, true);
+                let off = render(&cfg, &program, false);
+                rce_common::prop_assert!(
+                    on == off,
+                    "{proto}: seed {seed} diverges between fast path on and off"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The env knob and the builder agree: a machine with no explicit
+/// override still produces the same report as both forced modes.
+#[test]
+fn default_mode_matches_forced_modes() {
+    let program = WorkloadSpec::RacyPair.build(2, 1, 7);
+    let cfg = MachineConfig::paper_default(2, ProtocolKind::CePlus);
+    let default = {
+        let report = Machine::new(&cfg).unwrap().run(&program).unwrap();
+        rce_common::json::to_string_pretty(&report)
+    };
+    assert_eq!(default, render(&cfg, &program, true));
+    assert_eq!(default, render(&cfg, &program, false));
+}
